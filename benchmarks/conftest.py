@@ -1,0 +1,35 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation: it runs the corresponding experiment from
+``repro.bench.experiments`` under ``pytest-benchmark``, prints the series the
+paper plots, and asserts the qualitative claims the figure supports (who
+wins, rough factors, where crossovers fall).  Absolute numbers come from the
+analytical model over the simulated substrate and are not expected to match
+the paper's testbed; EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import pytest
+
+
+def series_by(rows: Sequence[Dict[str, object]], key: str, protocol: str, value: str = "throughput_txn_s") -> Dict[object, float]:
+    """Extract ``{x: y}`` for one protocol from experiment rows."""
+    return {row[key]: float(row[value]) for row in rows if row["protocol"] == protocol}
+
+
+def print_figure(title: str, rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> None:
+    """Print one figure's data as an aligned table."""
+    from repro.analysis.report import format_table
+
+    print(f"\n=== {title} ===")
+    print(format_table(rows, columns))
+
+
+@pytest.fixture
+def print_rows():
+    """Fixture exposing :func:`print_figure` to benchmark modules."""
+    return print_figure

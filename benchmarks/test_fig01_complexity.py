@@ -1,0 +1,26 @@
+"""Figure 1: comparison of SpotLess with Pbft, RCC and HotStuff.
+
+Regenerates the complexity table (phases, message complexity, per-decision
+amortised cost) and checks the relationships the paper states: SpotLess's
+per-decision cost is half of Pbft/RCC's and its primary cost is linear.
+"""
+
+from repro.analysis.complexity import complexity_table, format_complexity_table
+
+
+def test_fig01_complexity_table(benchmark):
+    """Regenerate Figure 1 and verify the per-decision relationships."""
+    rows = benchmark(complexity_table)
+    print("\n" + format_complexity_table(n=128))
+    by_name = {row.protocol: row for row in rows}
+    n = 128
+    spotless = by_name["SpotLess"].evaluate(n)
+    pbft = by_name["Pbft"].evaluate(n)
+    rcc = by_name["RCC"].evaluate(n)
+    hotstuff = by_name["HotStuff"].evaluate(n)
+    # SpotLess halves the per-decision message cost of Pbft and RCC.
+    assert spotless["per_decision"] * 2 == pbft["per_decision"] == rcc["per_decision"]
+    # HotStuff is linear per decision; SpotLess is quadratic but primary-linear.
+    assert hotstuff["per_decision"] == 2 * n
+    assert spotless["messages_at_primary"] == 3 * n * n  # c = n instances
+    assert by_name["SpotLess"].phases == 6 and by_name["HotStuff"].phases == 8

@@ -1,0 +1,17 @@
+"""Figure 14(a): impact of computing power (CPU cores per replica)."""
+
+from repro.bench.experiments import computing_power
+from conftest import print_figure, series_by
+
+
+def test_fig14a_computing_power(benchmark):
+    """Restricting CPU cores lowers the throughput of every protocol."""
+    rows = benchmark(computing_power)
+    print_figure("Figure 14(a) computing power", rows, ["cores", "protocol", "throughput_txn_s"])
+    for protocol in ("spotless", "rcc", "narwhal-hs"):
+        series = series_by(rows, "cores", protocol)
+        assert series[4] < series[16]
+    spotless = series_by(rows, "cores", "spotless")
+    rcc = series_by(rows, "cores", "rcc")
+    for cores in spotless:
+        assert spotless[cores] >= rcc[cores]

@@ -1,0 +1,22 @@
+"""Figure 14(b): impact of the network bandwidth."""
+
+from repro.bench.experiments import network_bandwidth
+from conftest import print_figure, series_by
+
+
+def test_fig14b_bandwidth(benchmark):
+    """Bandwidth-bound protocols suffer at 500 Mbit/s; Narwhal-HS barely moves."""
+    rows = benchmark(network_bandwidth)
+    print_figure("Figure 14(b) bandwidth", rows, ["bandwidth_mbit", "protocol", "throughput_txn_s"])
+    spotless = series_by(rows, "bandwidth_mbit", "spotless")
+    pbft = series_by(rows, "bandwidth_mbit", "pbft")
+    narwhal = series_by(rows, "bandwidth_mbit", "narwhal-hs")
+    assert spotless[500] < spotless[4000]
+    assert pbft[500] < pbft[4000]
+    # Narwhal-HS is compute bound, so bandwidth barely affects it (paper's
+    # observation in Section 6.4).
+    assert narwhal[500] >= narwhal[4000] * 0.95
+    # SpotLess maintains a higher performance than RCC at every bandwidth.
+    rcc = series_by(rows, "bandwidth_mbit", "rcc")
+    for mbit in spotless:
+        assert spotless[mbit] >= rcc[mbit]

@@ -1,0 +1,72 @@
+"""Byzantine attacks against SpotLess: the four scenarios of Figure 11.
+
+Runs a small SpotLess cluster under each of the paper's attack scenarios —
+A1 (non-responsive), A2 (victims kept in the dark by a Byzantine primary),
+A3 (equivocating votes), A4 (vote withholding) — and reports, per attack,
+the confirmed-transaction throughput and the outcome of the non-divergence
+check.  The point of the experiment is the one the paper makes in
+Section 6.4: thanks to the f + 1 Sync echo rule, Ask-recovery and Rapid
+View Synchronization, only the non-responsive attack meaningfully hurts
+throughput, and safety holds under every attack.
+
+Run with::
+
+    python examples/byzantine_attacks.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.cluster import SimulatedCluster
+from repro.core.config import SpotLessConfig
+from repro.faults.attacks import attack_by_name
+from repro.faults.injector import FaultInjector
+
+
+NUM_REPLICAS = 4
+ATTACKER = 0
+VICTIM = 3
+DURATION = 2.0
+
+
+def run_attack(attack_name: str | None) -> tuple[float, bool]:
+    """Run one attack scenario; returns (throughput, divergence_free)."""
+    config = SpotLessConfig(num_replicas=NUM_REPLICAS, batch_size=10)
+    cluster = SimulatedCluster.spotless(config, clients=4, outstanding_per_client=6)
+    if attack_name is not None:
+        injector = FaultInjector(cluster)
+        scenario = attack_by_name(attack_name, attackers=[ATTACKER], victims=[VICTIM])
+        injector.launch_attack(scenario, at=0.2)
+    result = cluster.run(duration=DURATION)
+    try:
+        cluster.assert_no_divergence()
+        divergence_free = True
+    except AssertionError:
+        divergence_free = False
+    return result.throughput, divergence_free
+
+
+def main() -> None:
+    print(f"SpotLess, {NUM_REPLICAS} replicas, replica {ATTACKER} Byzantine, replica {VICTIM} the victim\n")
+    baseline, _ = run_attack(None)
+    print(f"{'scenario':<22}{'throughput':>12}  {'vs healthy':>10}  safety")
+    print("-" * 58)
+    print(f"{'no attack':<22}{baseline:>10,.0f} txn/s{'100%':>9}   ok")
+    for attack in ("A1", "A2", "A3", "A4"):
+        throughput, safe = run_attack(attack)
+        retained = 100 * throughput / max(baseline, 1)
+        label = {
+            "A1": "A1 non-responsive",
+            "A2": "A2 in-the-dark primary",
+            "A3": "A3 equivocation",
+            "A4": "A4 vote withholding",
+        }[attack]
+        print(f"{label:<22}{throughput:>10,.0f} txn/s{retained:>8.0f}%   {'ok' if safe else 'VIOLATED'}")
+    print(
+        "\nVictims of A2-A4 catch up through f+1 Sync messages and Ask-recovery,"
+        "\nso only the non-responsive attack (A1) costs real throughput — the"
+        "\nrotational design simply times the silent primary out each round."
+    )
+
+
+if __name__ == "__main__":
+    main()

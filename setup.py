@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment used for the reproduction has no network access and no
+``wheel`` package, so ``pip install -e . --no-build-isolation --no-use-pep517``
+falls back to this classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

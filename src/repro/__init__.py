@@ -1,0 +1,31 @@
+"""Reproduction of SpotLess (ICDE 2024).
+
+SpotLess is a concurrent rotational Byzantine fault-tolerant consensus
+protocol built around Rapid View Synchronization.  This package provides:
+
+* the SpotLess protocol itself (:mod:`repro.core`);
+* the substrates it needs — a deterministic discrete-event simulator
+  (:mod:`repro.sim`), cryptographic primitives (:mod:`repro.crypto`), a
+  ledger and execution engine (:mod:`repro.ledger`), and a YCSB-style
+  workload (:mod:`repro.workload`);
+* the baselines the paper compares against — PBFT, RCC, HotStuff and
+  Narwhal-HS (:mod:`repro.protocols`);
+* fault injection for the paper's Byzantine attack scenarios
+  (:mod:`repro.faults`);
+* the analytical models and the experiment harness that regenerate every
+  table and figure of the evaluation (:mod:`repro.analysis`,
+  :mod:`repro.bench`).
+
+Quickstart::
+
+    from repro.bench.cluster import SimulatedCluster
+    from repro.core import SpotLessConfig
+
+    cluster = SimulatedCluster.spotless(SpotLessConfig(num_replicas=4), clients=4)
+    result = cluster.run(duration=2.0)
+    print(result.throughput, result.mean_latency)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

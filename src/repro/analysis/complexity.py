@@ -1,0 +1,130 @@
+"""The protocol comparison of Figure 1.
+
+For each protocol the table lists the environment assumptions, whether it is
+a concurrent and/or chained design, whether it needs threshold signatures,
+the number of communication phases, and the message complexity — total, at
+the primary, and amortised per consensus decision.  Complexities are reported
+both symbolically (as in the paper) and numerically for a given n and c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ComplexityRow:
+    """One protocol's row of Figure 1."""
+
+    protocol: str
+    safety_environment: str
+    liveness_environment: str
+    concurrent: bool
+    chained: bool
+    threshold_signatures: bool
+    phases: int
+    messages_symbolic: str
+    messages_at_primary_symbolic: str
+    per_decision_symbolic: str
+    messages: Callable[[int, int], float]
+    messages_at_primary: Callable[[int, int], float]
+    per_decision: Callable[[int, int], float]
+
+    def evaluate(self, n: int, c: Optional[int] = None) -> Dict[str, float]:
+        """Numeric complexities for ``n`` replicas and ``c`` concurrent instances."""
+        instances = c if c is not None else (n if self.concurrent else 1)
+        return {
+            "messages": self.messages(n, instances),
+            "messages_at_primary": self.messages_at_primary(n, instances),
+            "per_decision": self.per_decision(n, instances),
+        }
+
+
+def complexity_table() -> List[ComplexityRow]:
+    """The rows of Figure 1, in the paper's order."""
+    return [
+        ComplexityRow(
+            protocol="SpotLess",
+            safety_environment="Asynchronous",
+            liveness_environment="Partial Synchrony",
+            concurrent=True,
+            chained=True,
+            threshold_signatures=False,
+            phases=6,
+            messages_symbolic="c(3n^2)",
+            messages_at_primary_symbolic="c(3n)",
+            per_decision_symbolic="n^2",
+            messages=lambda n, c: c * 3 * n * n,
+            messages_at_primary=lambda n, c: c * 3 * n,
+            per_decision=lambda n, c: n * n,
+        ),
+        ComplexityRow(
+            protocol="Pbft",
+            safety_environment="Asynchronous",
+            liveness_environment="Partial Synchrony",
+            concurrent=False,
+            chained=False,
+            threshold_signatures=False,
+            phases=3,
+            messages_symbolic="2n^2",
+            messages_at_primary_symbolic="3n",
+            per_decision_symbolic="2n^2",
+            messages=lambda n, c: 2 * n * n,
+            messages_at_primary=lambda n, c: 3 * n,
+            per_decision=lambda n, c: 2 * n * n,
+        ),
+        ComplexityRow(
+            protocol="RCC",
+            safety_environment="Asynchronous",
+            liveness_environment="Partial Synchrony",
+            concurrent=True,
+            chained=False,
+            threshold_signatures=False,
+            phases=3,
+            messages_symbolic="c(2n^2)",
+            messages_at_primary_symbolic="c(3n)",
+            per_decision_symbolic="2n^2",
+            messages=lambda n, c: c * 2 * n * n,
+            messages_at_primary=lambda n, c: c * 3 * n,
+            per_decision=lambda n, c: 2 * n * n,
+        ),
+        ComplexityRow(
+            protocol="HotStuff",
+            safety_environment="Asynchronous",
+            liveness_environment="Partial Synchrony",
+            concurrent=False,
+            chained=True,
+            threshold_signatures=True,
+            phases=8,
+            messages_symbolic="8n",
+            messages_at_primary_symbolic="4n",
+            per_decision_symbolic="2n",
+            messages=lambda n, c: 8 * n,
+            messages_at_primary=lambda n, c: 4 * n,
+            per_decision=lambda n, c: 2 * n,
+        ),
+    ]
+
+
+def format_complexity_table(n: int = 128, c: Optional[int] = None) -> str:
+    """Render Figure 1 as an aligned text table with numeric columns for ``n``."""
+    rows = complexity_table()
+    header = (
+        f"{'Protocol':<10} {'Concurrent':<10} {'Chained':<8} {'ThreshSig':<9} "
+        f"{'Phases':<6} {'Messages':<12} {'AtPrimary':<12} {'PerDecision':<12} "
+        f"{'Msgs(n=%d)' % n:<14} {'PerDec(n=%d)' % n:<14}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        numeric = row.evaluate(n, c)
+        lines.append(
+            f"{row.protocol:<10} {str(row.concurrent):<10} {str(row.chained):<8} "
+            f"{str(row.threshold_signatures):<9} {row.phases:<6} {row.messages_symbolic:<12} "
+            f"{row.messages_at_primary_symbolic:<12} {row.per_decision_symbolic:<12} "
+            f"{numeric['messages']:<14,.0f} {numeric['per_decision']:<14,.0f}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["ComplexityRow", "complexity_table", "format_complexity_table"]

@@ -1,0 +1,11 @@
+"""Experiment harness.
+
+:mod:`repro.bench.cluster` builds message-level simulated clusters for any of
+the implemented protocols; :mod:`repro.bench.experiments` defines one
+experiment per table/figure of the paper's evaluation and prints the same
+series the paper reports.
+"""
+
+from repro.bench.cluster import ClusterResult, SimulatedCluster
+
+__all__ = ["ClusterResult", "SimulatedCluster"]

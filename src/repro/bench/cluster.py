@@ -1,0 +1,374 @@
+"""Message-level simulated clusters.
+
+A :class:`SimulatedCluster` wires together a simulator, a network, a set of
+protocol replicas, and a set of closed-loop clients driving a YCSB workload.
+It is the integration surface used by the examples, the integration tests
+and the failure/timeline experiments; the large-scale throughput figures use
+the analytical model in :mod:`repro.analysis` instead (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.client import SpotLessClient
+from repro.core.config import SpotLessConfig
+from repro.core.node import SpotLessReplica
+from repro.net.sizes import MessageSizeModel
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import DeterministicRng
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+
+
+@dataclass
+class ClusterResult:
+    """Aggregate measurements of one simulated run."""
+
+    duration: float
+    executed_transactions: int
+    confirmed_transactions: int
+    throughput: float
+    mean_latency: float
+    committed_per_replica: Dict[int, int] = field(default_factory=dict)
+    messages_sent: float = 0.0
+    bytes_sent: float = 0.0
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        return (
+            f"{self.throughput:,.0f} txn/s, latency {self.mean_latency * 1000:.1f} ms, "
+            f"{self.confirmed_transactions} confirmed over {self.duration:.1f} s"
+        )
+
+
+class SimulatedCluster:
+    """A protocol deployment inside the discrete-event simulator."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        replicas: Sequence[object],
+        clients: Sequence[SpotLessClient],
+        metrics: MetricsRegistry,
+    ) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.replicas = list(replicas)
+        self.clients = list(clients)
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def spotless(
+        config: SpotLessConfig,
+        clients: int = 4,
+        outstanding_per_client: int = 8,
+        network_config: Optional[NetworkConfig] = None,
+        workload_config: Optional[YcsbConfig] = None,
+        seed: int = 1,
+    ) -> "SimulatedCluster":
+        """Build a SpotLess cluster with closed-loop YCSB clients."""
+        simulator = Simulator()
+        metrics = MetricsRegistry()
+        rng = DeterministicRng(seed)
+        network = Network(simulator, network_config or NetworkConfig(), rng=rng, metrics=metrics)
+        size_model = MessageSizeModel(batch_size=config.batch_size)
+        replicas = [
+            SpotLessReplica(
+                node_id=replica_id,
+                config=config,
+                simulator=simulator,
+                network=network,
+                size_model=size_model,
+            )
+            for replica_id in config.replica_ids()
+        ]
+        workload = YcsbWorkload(workload_config or YcsbConfig(), rng=rng)
+        client_actors = [
+            SpotLessClient(
+                client_id=client_id,
+                config=config,
+                simulator=simulator,
+                network=network,
+                workload=workload,
+                outstanding=outstanding_per_client,
+                rng=rng.fork(f"client-{client_id}"),
+            )
+            for client_id in range(clients)
+        ]
+        return SimulatedCluster(simulator, network, replicas, client_actors, metrics)
+
+    @staticmethod
+    def _baseline(
+        replica_class: type,
+        config: "BftConfig",
+        clients: int,
+        outstanding_per_client: int,
+        network_config: Optional[NetworkConfig],
+        workload_config: Optional[YcsbConfig],
+        seed: int,
+    ) -> "SimulatedCluster":
+        simulator = Simulator()
+        metrics = MetricsRegistry()
+        rng = DeterministicRng(seed)
+        network = Network(simulator, network_config or NetworkConfig(), rng=rng, metrics=metrics)
+        size_model = MessageSizeModel(batch_size=config.batch_size)
+        replicas = [
+            replica_class(
+                node_id=replica_id,
+                config=config,
+                simulator=simulator,
+                network=network,
+                size_model=size_model,
+            )
+            for replica_id in config.replica_ids()
+        ]
+        workload = YcsbWorkload(workload_config or YcsbConfig(), rng=rng)
+        client_actors = [
+            SpotLessClient(
+                client_id=client_id,
+                config=config,
+                simulator=simulator,
+                network=network,
+                workload=workload,
+                outstanding=outstanding_per_client,
+                rng=rng.fork(f"client-{client_id}"),
+            )
+            for client_id in range(clients)
+        ]
+        return SimulatedCluster(simulator, network, replicas, client_actors, metrics)
+
+    @staticmethod
+    def pbft(
+        config: "BftConfig",
+        clients: int = 4,
+        outstanding_per_client: int = 8,
+        network_config: Optional[NetworkConfig] = None,
+        workload_config: Optional[YcsbConfig] = None,
+        seed: int = 1,
+    ) -> "SimulatedCluster":
+        """Build a PBFT cluster with closed-loop YCSB clients."""
+        from repro.protocols.pbft import PbftReplica
+
+        return SimulatedCluster._baseline(
+            PbftReplica, config, clients, outstanding_per_client, network_config, workload_config, seed
+        )
+
+    @staticmethod
+    def rcc(
+        config: "BftConfig",
+        clients: int = 4,
+        outstanding_per_client: int = 8,
+        network_config: Optional[NetworkConfig] = None,
+        workload_config: Optional[YcsbConfig] = None,
+        seed: int = 1,
+    ) -> "SimulatedCluster":
+        """Build an RCC cluster (concurrent PBFT instances)."""
+        from repro.protocols.rcc import RccReplica
+
+        return SimulatedCluster._baseline(
+            RccReplica, config, clients, outstanding_per_client, network_config, workload_config, seed
+        )
+
+    @staticmethod
+    def hotstuff(
+        config: "BftConfig",
+        clients: int = 4,
+        outstanding_per_client: int = 8,
+        network_config: Optional[NetworkConfig] = None,
+        workload_config: Optional[YcsbConfig] = None,
+        seed: int = 1,
+    ) -> "SimulatedCluster":
+        """Build a chained HotStuff cluster."""
+        from repro.protocols.hotstuff import HotStuffReplica
+
+        return SimulatedCluster._baseline(
+            HotStuffReplica, config, clients, outstanding_per_client, network_config, workload_config, seed
+        )
+
+    @staticmethod
+    def narwhal(
+        config: "BftConfig",
+        clients: int = 4,
+        outstanding_per_client: int = 8,
+        network_config: Optional[NetworkConfig] = None,
+        workload_config: Optional[YcsbConfig] = None,
+        seed: int = 1,
+    ) -> "SimulatedCluster":
+        """Build a Narwhal-HS cluster."""
+        from repro.protocols.narwhal import NarwhalHsReplica
+
+        return SimulatedCluster._baseline(
+            NarwhalHsReplica, config, clients, outstanding_per_client, network_config, workload_config, seed
+        )
+
+    @staticmethod
+    def for_protocol(
+        protocol: str,
+        num_replicas: int,
+        num_instances: Optional[int] = None,
+        batch_size: int = 100,
+        clients: int = 4,
+        outstanding_per_client: int = 8,
+        network_config: Optional[NetworkConfig] = None,
+        seed: int = 1,
+    ) -> "SimulatedCluster":
+        """Build a cluster for any implemented protocol by name.
+
+        ``protocol`` is one of ``spotless``, ``pbft``, ``rcc``, ``hotstuff``
+        or ``narwhal-hs``.
+        """
+        name = protocol.lower()
+        if name == "spotless":
+            config = SpotLessConfig(
+                num_replicas=num_replicas,
+                num_instances=num_instances or num_replicas,
+                batch_size=batch_size,
+            )
+            return SimulatedCluster.spotless(
+                config, clients=clients, outstanding_per_client=outstanding_per_client,
+                network_config=network_config, seed=seed,
+            )
+        from repro.protocols.common import BftConfig
+
+        config = BftConfig(
+            num_replicas=num_replicas,
+            batch_size=batch_size,
+            num_instances=num_instances or (num_replicas if name == "rcc" else 1),
+        )
+        factories = {
+            "pbft": SimulatedCluster.pbft,
+            "rcc": SimulatedCluster.rcc,
+            "hotstuff": SimulatedCluster.hotstuff,
+            "narwhal-hs": SimulatedCluster.narwhal,
+            "narwhal": SimulatedCluster.narwhal,
+        }
+        if name not in factories:
+            raise ValueError(f"unknown protocol {protocol!r}")
+        return factories[name](
+            config, clients=clients, outstanding_per_client=outstanding_per_client,
+            network_config=network_config, seed=seed,
+        )
+
+    @staticmethod
+    def from_factory(
+        replica_factory: Callable[[int, Simulator, Network], object],
+        num_replicas: int,
+        client_factory: Callable[[int, Simulator, Network], SpotLessClient],
+        num_clients: int,
+        network_config: Optional[NetworkConfig] = None,
+        seed: int = 1,
+    ) -> "SimulatedCluster":
+        """Generic factory used by the baseline protocols."""
+        simulator = Simulator()
+        metrics = MetricsRegistry()
+        rng = DeterministicRng(seed)
+        network = Network(simulator, network_config or NetworkConfig(), rng=rng, metrics=metrics)
+        replicas = [replica_factory(replica_id, simulator, network) for replica_id in range(num_replicas)]
+        client_actors = [client_factory(client_id, simulator, network) for client_id in range(num_clients)]
+        return SimulatedCluster(simulator, network, replicas, client_actors, metrics)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start replicas and clients without advancing simulated time."""
+        for replica in self.replicas:
+            replica.start()
+        for client in self.clients:
+            client.start()
+
+    def run(self, duration: float, warmup: float = 0.0) -> ClusterResult:
+        """Start the cluster and run it for ``duration`` simulated seconds.
+
+        When ``warmup`` is positive, the throughput and latency measurements
+        only cover the post-warmup window, mirroring the paper's 10 s warmup.
+        """
+        self.start()
+        if warmup > 0.0:
+            self.simulator.run_for(warmup)
+            for client in self.clients:
+                client.latency.reset()
+                client.confirmed_transactions = 0
+            executed_baseline = {id(r): getattr(r, "executed_transactions", 0) for r in self.replicas}
+        else:
+            executed_baseline = {id(r): 0 for r in self.replicas}
+        self.simulator.run_for(duration)
+        return self._collect(duration, executed_baseline)
+
+    def run_additional(self, duration: float) -> None:
+        """Advance an already-started cluster by ``duration`` seconds."""
+        self.simulator.run_for(duration)
+
+    def _collect(self, duration: float, executed_baseline: Dict[int, int]) -> ClusterResult:
+        confirmed = sum(client.confirmed_transactions for client in self.clients)
+        latencies = [client.latency.mean() for client in self.clients if client.latency.count]
+        mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+        executed = max(
+            (getattr(replica, "executed_transactions", 0) - executed_baseline.get(id(replica), 0))
+            for replica in self.replicas
+        )
+        committed = {
+            getattr(replica, "node_id", index): getattr(replica, "executed_transactions", 0)
+            for index, replica in enumerate(self.replicas)
+        }
+        return ClusterResult(
+            duration=duration,
+            executed_transactions=executed,
+            confirmed_transactions=confirmed,
+            throughput=confirmed / duration if duration > 0 else 0.0,
+            mean_latency=mean_latency,
+            committed_per_replica=committed,
+            messages_sent=self.metrics.counter("network.messages_sent").value,
+            bytes_sent=self.metrics.counter("network.bytes_sent").value,
+        )
+
+    # ------------------------------------------------------------------
+    # consistency checks used by tests
+    # ------------------------------------------------------------------
+
+    def state_digests(self) -> List[bytes]:
+        """State digest of every replica that exposes one."""
+        return [replica.state_digest() for replica in self.replicas if hasattr(replica, "state_digest")]
+
+    def assert_no_divergence(self) -> None:
+        """Raise AssertionError if replicas diverge.
+
+        Two checks mirror the paper's non-divergence guarantee:
+
+        * any consensus slot decided by two replicas holds the same proposal;
+        * the executed transaction sequences are prefixes of one another
+          (replicas may have executed to different depths, but never in a
+          different order).
+        """
+        slot_maps = [
+            replica.committed_map() for replica in self.replicas if hasattr(replica, "committed_map")
+        ]
+        for first in slot_maps:
+            for second in slot_maps:
+                for slot, digest in first.items():
+                    other = second.get(slot)
+                    if other is not None and other != digest:
+                        raise AssertionError(f"replicas decided different proposals for slot {slot}")
+
+        executions = [
+            replica.executed_transaction_digests()
+            for replica in self.replicas
+            if hasattr(replica, "executed_transaction_digests")
+        ]
+        for first in executions:
+            for second in executions:
+                shared = min(len(first), len(second))
+                if first[:shared] != second[:shared]:
+                    raise AssertionError("replicas diverged on the executed transaction order")
+
+
+__all__ = ["ClusterResult", "SimulatedCluster"]

@@ -1,0 +1,279 @@
+"""Command-line interface for the SpotLess reproduction.
+
+The CLI exposes the experiment harness without writing any Python::
+
+    python -m repro list
+    python -m repro complexity
+    python -m repro figure fig7a-scalability --replicas 4 16 32
+    python -m repro ablation commit-rule
+    python -m repro cluster --protocol spotless --replicas 4 --duration 2
+    python -m repro validate
+
+``figure`` names map one-to-one onto the per-figure experiment functions in
+:mod:`repro.bench.experiments`; ``ablation`` names map onto
+:mod:`repro.bench.ablations`.  Output is the same aligned table the
+benchmark harness prints, so the numbers can be compared directly against
+the corresponding figure in the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.complexity import format_complexity_table
+from repro.analysis.report import format_table
+from repro.analysis.validation import cross_validate_protocols, validation_report
+from repro.bench import ablations, experiments
+from repro.bench.cluster import SimulatedCluster
+
+
+# Mapping from CLI figure name to (experiment callable, key-column order).
+FIGURES: Dict[str, Dict[str, object]] = {
+    "fig7a-scalability": {
+        "run": lambda args: experiments.scalability(tuple(args.replicas or (4, 16, 32, 64, 96, 128))),
+        "columns": ["replicas", "protocol", "throughput_txn_s", "latency_s", "bottleneck"],
+        "paper": "Figure 7(a): throughput versus the number of replicas",
+    },
+    "fig7b-batching": {
+        "run": lambda args: experiments.batching(),
+        "columns": ["batch_size", "protocol", "throughput_txn_s", "latency_s"],
+        "paper": "Figure 7(b): throughput versus batch size",
+    },
+    "fig7c-throughput-latency": {
+        "run": lambda args: experiments.throughput_latency(),
+        "columns": ["client_batches", "protocol", "throughput_txn_s", "latency_s"],
+        "paper": "Figure 7(c): latency versus throughput",
+    },
+    "fig7d-transaction-size": {
+        "run": lambda args: experiments.transaction_size(),
+        "columns": ["transaction_bytes", "protocol", "throughput_txn_s"],
+        "paper": "Figure 7(d): throughput versus transaction size",
+    },
+    "fig7e-failures": {
+        "run": lambda args: experiments.failures(),
+        "columns": ["faulty", "protocol", "throughput_txn_s"],
+        "paper": "Figure 7(e): throughput versus the number of failures",
+    },
+    "fig7f-failure-ratio": {
+        "run": lambda args: experiments.failures_ratio(),
+        "columns": ["ratio", "faulty", "protocol", "throughput_txn_s"],
+        "paper": "Figure 7(f): throughput versus the ratio of failures out of f",
+    },
+    "fig8-spotless-failures": {
+        "run": lambda args: experiments.spotless_failures(),
+        "columns": ["replicas", "faulty", "protocol", "throughput_txn_s"],
+        "paper": "Figure 8: SpotLess under failures as a function of n",
+    },
+    "fig9-latency-failures": {
+        "run": lambda args: experiments.parallelism(),
+        "columns": ["faulty", "client_batches", "protocol", "throughput_txn_s", "latency_s"],
+        "paper": "Figure 9: throughput-latency of SpotLess and RCC under failures",
+    },
+    "fig10-parallelism": {
+        "run": lambda args: experiments.parallelism(),
+        "columns": ["faulty", "client_batches", "protocol", "throughput_txn_s", "latency_s"],
+        "paper": "Figure 10: throughput/latency versus client batches per primary",
+    },
+    "fig11-byzantine": {
+        "run": lambda args: experiments.byzantine_attacks(),
+        "columns": ["faulty", "protocol", "attack", "throughput_txn_s"],
+        "paper": "Figure 11: SpotLess under attacks A1-A4",
+    },
+    "fig12-timeline": {
+        "run": lambda args: experiments.failure_timeline(faulty_replicas=args.faulty or 1),
+        "columns": ["protocol", "time_s", "throughput_txn_s"],
+        "paper": "Figure 12: real-time throughput after failure injection",
+    },
+    "fig13-instances": {
+        "run": lambda args: experiments.concurrent_instances(),
+        "columns": ["instances", "protocol", "throughput_txn_s"],
+        "paper": "Figure 13: throughput versus the number of concurrent instances",
+    },
+    "fig14a-cpu": {
+        "run": lambda args: experiments.computing_power(),
+        "columns": ["cores", "protocol", "throughput_txn_s"],
+        "paper": "Figure 14(a): impact of computing power",
+    },
+    "fig14b-bandwidth": {
+        "run": lambda args: experiments.network_bandwidth(),
+        "columns": ["bandwidth_mbit", "protocol", "throughput_txn_s"],
+        "paper": "Figure 14(b): impact of network bandwidth",
+    },
+    "fig14cd-regions": {
+        "run": lambda args: experiments.geo_regions(),
+        "columns": ["batch_size", "regions", "protocol", "throughput_txn_s"],
+        "paper": "Figure 14(c,d): impact of geo-distribution",
+    },
+    "fig15-single-instance": {
+        "run": lambda args: experiments.single_instance_failures(),
+        "columns": ["ratio", "protocol", "throughput_txn_s"],
+        "paper": "Figure 15: single-instance SpotLess versus HotStuff under failures",
+    },
+}
+
+ABLATIONS: Dict[str, Dict[str, object]] = {
+    "commit-rule": {
+        "run": lambda args: ablations.commit_rule_safety(),
+        "columns": ["commit_rule", "commits_at_A", "commits_at_B", "conflicting_commits", "safe"],
+        "paper": "Example 3.6: the three-consecutive-view commit rule versus a two-view rule",
+    },
+    "view-sync": {
+        "run": lambda args: ablations.view_synchronization_recovery(),
+        "columns": ["view_sync_mode", "view_lag_at_heal", "view_lag_after_recovery", "caught_up"],
+        "paper": "Rapid View Synchronization versus a GST-style pacemaker",
+    },
+    "timeouts": {
+        "run": lambda args: ablations.timeout_policy_stability(),
+        "columns": [
+            "timeout_policy",
+            "confirmed_total",
+            "post_failure_min",
+            "post_failure_max",
+            "post_failure_spread",
+        ],
+        "paper": "Constant-ε adaptive timeouts versus exponential back-off (Figure 12 mechanism)",
+    },
+    "assignment": {
+        "run": lambda args: ablations.assignment_load_balance(),
+        "columns": [
+            "assignment_policy",
+            "instances",
+            "least_loaded_commits",
+            "most_loaded_commits",
+            "imbalance_ratio",
+        ],
+        "paper": "Digest-based request assignment versus client-to-instance binding",
+    },
+    "fast-path": {
+        "run": lambda args: ablations.fast_path_latency(),
+        "columns": ["fast_path", "mean_latency_s", "throughput_txn_s", "fast_path_proposals"],
+        "paper": "Geo fast path (Section 6.1 optimisation)",
+    },
+}
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("figures:")
+    for name, spec in FIGURES.items():
+        print(f"  {name:26} {spec['paper']}")
+    print("ablations:")
+    for name, spec in ABLATIONS.items():
+        print(f"  {name:26} {spec['paper']}")
+    return 0
+
+
+def _cmd_complexity(args: argparse.Namespace) -> int:
+    print(format_complexity_table())
+    return 0
+
+
+def _run_named(table: Dict[str, Dict[str, object]], name: str, args: argparse.Namespace) -> int:
+    spec = table.get(name)
+    if spec is None:
+        known = ", ".join(sorted(table))
+        print(f"unknown name {name!r}; choose one of: {known}", file=sys.stderr)
+        return 2
+    print(spec["paper"])
+    rows = spec["run"](args)
+    print(format_table(rows, spec["columns"]))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    return _run_named(FIGURES, args.name, args)
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    return _run_named(ABLATIONS, args.name, args)
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    cluster = SimulatedCluster.for_protocol(
+        args.protocol,
+        num_replicas=args.replicas,
+        batch_size=args.batch_size,
+        clients=args.clients,
+        outstanding_per_client=args.outstanding,
+        seed=args.seed,
+    )
+    result = cluster.run(duration=args.duration, warmup=args.warmup)
+    print(
+        f"{args.protocol} with n={args.replicas}, batch={args.batch_size}, "
+        f"{args.clients} clients x {args.outstanding} outstanding:"
+    )
+    print(f"  {result.summary()}")
+    print(f"  messages sent: {result.messages_sent:,.0f}, bytes sent: {result.bytes_sent:,.0f}")
+    cluster.assert_no_divergence()
+    print("  non-divergence check: ok")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    points = cross_validate_protocols(num_replicas=args.replicas, duration=args.duration)
+    report = validation_report(points)
+    print(format_table(report["rows"], ["protocol", "replicas", "simulated_txn_s", "model_txn_s"]))
+    print(f"simulator ranking: {' > '.join(report['simulated_ranking'])}")
+    print(f"model ranking:     {' > '.join(report['model_ranking'])}")
+    print(f"pairwise rank agreement: {report['rank_agreement']:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpotLess (ICDE 2024) reproduction: experiments, ablations and simulated clusters.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    list_parser = subparsers.add_parser("list", help="list available figures and ablations")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    complexity_parser = subparsers.add_parser("complexity", help="print the Figure 1 complexity table")
+    complexity_parser.set_defaults(handler=_cmd_complexity)
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate one figure of the evaluation")
+    figure_parser.add_argument("name", help="figure name (see `repro list`)")
+    figure_parser.add_argument("--replicas", type=int, nargs="*", help="replica counts (fig7a only)")
+    figure_parser.add_argument("--faulty", type=int, default=None, help="failure count (fig12 only)")
+    figure_parser.set_defaults(handler=_cmd_figure)
+
+    ablation_parser = subparsers.add_parser("ablation", help="run one design-choice ablation")
+    ablation_parser.add_argument("name", help="ablation name (see `repro list`)")
+    ablation_parser.set_defaults(handler=_cmd_ablation)
+
+    cluster_parser = subparsers.add_parser("cluster", help="run a small message-level simulated cluster")
+    cluster_parser.add_argument("--protocol", default="spotless", help="spotless, pbft, rcc, hotstuff, narwhal-hs")
+    cluster_parser.add_argument("--replicas", type=int, default=4)
+    cluster_parser.add_argument("--batch-size", type=int, default=10)
+    cluster_parser.add_argument("--clients", type=int, default=4)
+    cluster_parser.add_argument("--outstanding", type=int, default=8)
+    cluster_parser.add_argument("--duration", type=float, default=1.0)
+    cluster_parser.add_argument("--warmup", type=float, default=0.0)
+    cluster_parser.add_argument("--seed", type=int, default=1)
+    cluster_parser.set_defaults(handler=_cmd_cluster)
+
+    validate_parser = subparsers.add_parser(
+        "validate", help="cross-validate the analytical model against the simulator"
+    )
+    validate_parser.add_argument("--replicas", type=int, default=4)
+    validate_parser.add_argument("--duration", type=float, default=1.0)
+    validate_parser.set_defaults(handler=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = getattr(args, "handler", None)
+    if handler is None:
+        parser.print_help()
+        return 1
+    return handler(args)
+
+
+__all__ = ["ABLATIONS", "FIGURES", "build_parser", "main"]

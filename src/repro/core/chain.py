@@ -1,0 +1,376 @@
+"""Proposals, the chained proposal store, and the relations of Definition 3.3.
+
+Every chained consensus instance maintains a :class:`ProposalStore`: a tree
+of proposals rooted at the genesis proposal, with per-proposal status
+(recorded, conditionally prepared, conditionally committed, committed), the
+replica's current lock ``P_lock``, and the CP set included in outgoing Sync
+messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.messages import CpEntry, ProposeMessage
+from repro.crypto.digest import digest_bytes
+
+
+GENESIS_VIEW = -1
+GENESIS_PROPOSAL_ID: bytes = digest_bytes(("spotless-genesis",))
+
+
+class ProposalStatus(enum.IntEnum):
+    """Lifecycle of a proposal at one replica, ordered by strength."""
+
+    RECORDED = 1
+    CONDITIONALLY_PREPARED = 2
+    CONDITIONALLY_COMMITTED = 3
+    COMMITTED = 4
+
+
+@dataclass
+class Proposal:
+    """One node in the proposal tree.
+
+    ``digest`` identifies the proposal; ``parent_digest`` points at the
+    preceding proposal P′.  ``message`` is the full Propose message when the
+    replica has recorded it; a proposal known only through claims (e.g. via
+    CP sets) has ``message is None`` until Ask-recovery fetches it.
+    """
+
+    digest: bytes
+    view: int
+    instance: int
+    parent_digest: Optional[bytes]
+    parent_view: Optional[int]
+    message: Optional[ProposeMessage] = None
+    status: ProposalStatus = ProposalStatus.RECORDED
+
+    @property
+    def is_genesis(self) -> bool:
+        """True only for the shared genesis proposal.
+
+        Identified by digest (not by a missing parent), because proposals
+        known only by reference also lack parent links until Ask-recovery
+        fills them in.
+        """
+        return self.digest == GENESIS_PROPOSAL_ID
+
+    def has_payload(self) -> bool:
+        """True when the full Propose message is locally available."""
+        return self.message is not None or self.is_genesis
+
+
+def proposal_digest(message: ProposeMessage) -> bytes:
+    """Digest identifying a Propose message (the paper's ``digest(P)``)."""
+    return digest_bytes(message.canonical_fields())
+
+
+class ProposalStore:
+    """Tree of proposals with the status transitions of Definition 3.3.
+
+    The store is purely local state: it never talks to the network.  The
+    instance drives it by recording proposals and reporting quorum events;
+    the store answers questions such as "what is my lock?", "is this
+    proposal acceptable?", and "which proposals are newly committed?".
+    """
+
+    def __init__(self, instance: int = 0, commit_rule: str = "three-view") -> None:
+        if commit_rule not in ("three-view", "two-view"):
+            raise ValueError("commit_rule must be 'three-view' or 'two-view'")
+        self.instance = instance
+        self.commit_rule = commit_rule
+        genesis = Proposal(
+            digest=GENESIS_PROPOSAL_ID,
+            view=GENESIS_VIEW,
+            instance=instance,
+            parent_digest=None,
+            parent_view=None,
+            message=None,
+            status=ProposalStatus.COMMITTED,
+        )
+        self._proposals: Dict[bytes, Proposal] = {GENESIS_PROPOSAL_ID: genesis}
+        self._by_view: Dict[int, List[bytes]] = {GENESIS_VIEW: [GENESIS_PROPOSAL_ID]}
+        self._lock_digest: bytes = GENESIS_PROPOSAL_ID
+        self._committed_order: List[bytes] = []
+
+    # -- basic access ----------------------------------------------------
+
+    def get(self, digest: bytes) -> Optional[Proposal]:
+        """Proposal with this digest, or None when unknown."""
+        return self._proposals.get(digest)
+
+    def __contains__(self, digest: bytes) -> bool:
+        return digest in self._proposals
+
+    def proposals(self) -> Iterable[Proposal]:
+        """All known proposals (including genesis)."""
+        return self._proposals.values()
+
+    def proposals_in_view(self, view: int) -> List[Proposal]:
+        """Proposals known for a given view."""
+        return [self._proposals[d] for d in self._by_view.get(view, [])]
+
+    @property
+    def genesis(self) -> Proposal:
+        """The genesis proposal."""
+        return self._proposals[GENESIS_PROPOSAL_ID]
+
+    @property
+    def lock(self) -> Proposal:
+        """``P_lock``: the highest conditionally committed proposal."""
+        return self._proposals[self._lock_digest]
+
+    # -- recording -------------------------------------------------------
+
+    def record_message(self, message: ProposeMessage) -> Proposal:
+        """Record a well-formed Propose message (Line 17 of Figure 3).
+
+        If the proposal was previously known only by digest (via claims), the
+        payload is attached to the existing entry.
+        """
+        digest = proposal_digest(message)
+        existing = self._proposals.get(digest)
+        if existing is not None:
+            if existing.message is None:
+                existing.message = message
+                existing.parent_digest = message.parent_digest
+                existing.parent_view = message.parent_view
+            return existing
+        proposal = Proposal(
+            digest=digest,
+            view=message.view,
+            instance=message.instance,
+            parent_digest=message.parent_digest,
+            parent_view=message.parent_view,
+            message=message,
+        )
+        self._proposals[digest] = proposal
+        self._by_view.setdefault(message.view, []).append(digest)
+        return proposal
+
+    def record_reference(self, digest: bytes, view: int) -> Proposal:
+        """Record a proposal known only by (view, digest) — e.g. from a CP entry."""
+        existing = self._proposals.get(digest)
+        if existing is not None:
+            return existing
+        proposal = Proposal(
+            digest=digest,
+            view=view,
+            instance=self.instance,
+            parent_digest=None,
+            parent_view=None,
+            message=None,
+        )
+        self._proposals[digest] = proposal
+        self._by_view.setdefault(view, []).append(digest)
+        return proposal
+
+    # -- relations of Definition 3.3 ---------------------------------------
+
+    def parent_of(self, proposal: Proposal) -> Optional[Proposal]:
+        """The preceding proposal P′ of ``proposal`` (None when unknown)."""
+        if proposal.parent_digest is None:
+            return None
+        return self._proposals.get(proposal.parent_digest)
+
+    def precedes_chain(self, proposal: Proposal) -> List[Proposal]:
+        """``precedes(P)``: all known ancestors of P, nearest first."""
+        ancestors: List[Proposal] = []
+        current = self.parent_of(proposal)
+        seen: Set[bytes] = {proposal.digest}
+        while current is not None and current.digest not in seen:
+            ancestors.append(current)
+            seen.add(current.digest)
+            current = self.parent_of(current)
+        return ancestors
+
+    def depth(self, proposal: Proposal) -> int:
+        """``depth(P) = |precedes(P)|`` over locally known ancestors."""
+        return len(self.precedes_chain(proposal))
+
+    def extends(self, proposal: Proposal, ancestor: Proposal) -> bool:
+        """True when ``ancestor`` is ``proposal`` itself or precedes it."""
+        if proposal.digest == ancestor.digest:
+            return True
+        return any(node.digest == ancestor.digest for node in self.precedes_chain(proposal))
+
+    def conflicts(self, first: Proposal, second: Proposal) -> bool:
+        """True when neither proposal extends the other (conflicting chains)."""
+        return not self.extends(first, second) and not self.extends(second, first)
+
+    # -- acceptance rules (A1-A3) -----------------------------------------
+
+    def is_acceptable(self, message: ProposeMessage) -> bool:
+        """The Acceptable() check of Figure 3 (rules A1 + (A2 or A3)).
+
+        A1 (validity): the replica conditionally prepared the parent P′.
+        A2 (safety): P′ extends the lock.
+        A3 (liveness): P′ is from a higher view than the lock.
+        """
+        parent = self._proposals.get(message.parent_digest)
+        if parent is None:
+            return False
+        if parent.status < ProposalStatus.CONDITIONALLY_PREPARED:
+            return False
+        lock = self.lock
+        safety = self.extends(parent, lock)
+        liveness = parent.view > lock.view
+        return safety or liveness
+
+    # -- status transitions ------------------------------------------------
+
+    def _promote(self, proposal: Proposal, status: ProposalStatus) -> bool:
+        if proposal.status >= status:
+            return False
+        proposal.status = status
+        return True
+
+    def mark_conditionally_prepared(self, proposal: Proposal) -> List[Proposal]:
+        """Mark ``proposal`` conditionally prepared and cascade the consequences.
+
+        Returns the list of proposals that became *committed* as a result
+        (oldest first), which the caller hands to the execution layer.  The
+        cascade implements Definition 3.3:
+
+        * the parent becomes conditionally committed (child in a later view
+          extends it), which may advance the lock;
+        * the grandparent becomes committed when the three views are
+          consecutive (v, v+1, v+2), and committing a proposal commits its
+          entire ancestor chain.
+
+        Under the (unsafe) ``"two-view"`` ablation rule, the parent commits
+        as soon as a consecutive-view child is conditionally prepared; the
+        Example 3.6 test and ablation bench use this to show why the paper
+        needs three consecutive views.
+        """
+        if not self._promote(proposal, ProposalStatus.CONDITIONALLY_PREPARED):
+            return []
+        return self._apply_prepare_consequences(proposal)
+
+    def _apply_prepare_consequences(self, proposal: Proposal) -> List[Proposal]:
+        """Lock/commit consequences of ``proposal`` being conditionally prepared."""
+        newly_committed: List[Proposal] = []
+        parent = self.parent_of(proposal)
+        if parent is None or parent.is_genesis:
+            return newly_committed
+
+        if proposal.view > parent.view:
+            self._promote(parent, ProposalStatus.CONDITIONALLY_COMMITTED)
+            if parent.view > self.lock.view:
+                self._lock_digest = parent.digest
+
+        if self.commit_rule == "two-view":
+            if proposal.view == parent.view + 1:
+                newly_committed = self._commit_chain(parent)
+            return newly_committed
+
+        grandparent = self.parent_of(parent)
+        if (
+            grandparent is not None
+            and not grandparent.is_genesis
+            and proposal.view == parent.view + 1
+            and parent.view == grandparent.view + 1
+        ):
+            newly_committed = self._commit_chain(grandparent)
+        return newly_committed
+
+    def _commit_chain(self, proposal: Proposal) -> List[Proposal]:
+        """Commit ``proposal`` and every not-yet-committed ancestor, oldest first."""
+        chain = [proposal] + self.precedes_chain(proposal)
+        newly: List[Proposal] = []
+        for node in reversed(chain):
+            if node.is_genesis:
+                continue
+            if node.status < ProposalStatus.COMMITTED:
+                node.status = ProposalStatus.COMMITTED
+                self._committed_order.append(node.digest)
+                newly.append(node)
+        return newly
+
+    def recheck_commits(self) -> List[Proposal]:
+        """Re-run the commit cascade over already-prepared proposals.
+
+        Ask-recovery can fill in a parent link *after* the child was
+        conditionally prepared; at that point the original cascade stopped at
+        the unknown link.  Re-applying the prepare consequences in view order
+        commits whatever the newly completed chain justifies.  Returns the
+        newly committed proposals, oldest first.
+        """
+        newly: List[Proposal] = []
+        prepared = sorted(
+            (
+                proposal
+                for proposal in self._proposals.values()
+                if proposal.status >= ProposalStatus.CONDITIONALLY_PREPARED and not proposal.is_genesis
+            ),
+            key=lambda proposal: proposal.view,
+        )
+        for proposal in prepared:
+            newly.extend(self._apply_prepare_consequences(proposal))
+        return newly
+
+    def committed_proposals(self) -> List[Proposal]:
+        """All committed proposals in commit order."""
+        return [self._proposals[d] for d in self._committed_order]
+
+    # -- queries used by the instance --------------------------------------
+
+    def conditionally_prepared_in_view(self, view: int) -> Optional[Proposal]:
+        """A conditionally prepared (or stronger) proposal of ``view``, if any."""
+        for proposal in self.proposals_in_view(view):
+            if proposal.status >= ProposalStatus.CONDITIONALLY_PREPARED:
+                return proposal
+        return None
+
+    def highest_conditionally_prepared(self) -> Proposal:
+        """The conditionally prepared proposal with the highest view (genesis fallback)."""
+        best = self.genesis
+        for proposal in self._proposals.values():
+            if proposal.status >= ProposalStatus.CONDITIONALLY_PREPARED and proposal.view > best.view:
+                best = proposal
+        return best
+
+    def cp_set(self) -> Tuple[CpEntry, ...]:
+        """The CP set carried in Sync messages (Section 3.3).
+
+        ``CP = {(v_P, digest(P)) | P conditionally prepared ∧ v_lock ≤ v_P}``
+        — the lock itself plus every conditionally prepared proposal with a
+        view at or above the lock's view.
+        """
+        lock_view = self.lock.view
+        entries = [
+            CpEntry(view=proposal.view, digest=proposal.digest)
+            for proposal in self._proposals.values()
+            if proposal.status >= ProposalStatus.CONDITIONALLY_PREPARED
+            and proposal.view >= lock_view
+            and not proposal.is_genesis
+        ]
+        if not entries and not self.lock.is_genesis:
+            entries.append(CpEntry(view=self.lock.view, digest=self.lock.digest))
+        entries.sort(key=lambda entry: (entry.view, entry.digest))
+        return tuple(entries)
+
+    def missing_payload_digests(self) -> List[bytes]:
+        """Digests of conditionally prepared proposals whose payload is unknown.
+
+        These are the proposals a replica must fetch via Ask before it can
+        execute the chain (Section 3.4, after Theorem 3.8).
+        """
+        return [
+            proposal.digest
+            for proposal in self._proposals.values()
+            if proposal.status >= ProposalStatus.CONDITIONALLY_PREPARED and not proposal.has_payload()
+        ]
+
+
+__all__ = [
+    "GENESIS_PROPOSAL_ID",
+    "GENESIS_VIEW",
+    "Proposal",
+    "ProposalStatus",
+    "ProposalStore",
+    "proposal_digest",
+]

@@ -1,0 +1,137 @@
+"""SpotLess clients (Section 5).
+
+A client sends a transaction to one replica, starts a timer and waits for
+f + 1 identical Inform responses.  If the timer expires it retries with the
+next replica and doubles the timeout, continuing until the transaction is
+confirmed.  Because primaries rotate, a correct replica will eventually be
+the primary of the instance responsible for the transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.config import SpotLessConfig
+from repro.core.messages import InformMessage
+from repro.sim.actor import Actor
+from repro.sim.engine import Simulator
+from repro.sim.metrics import Histogram
+from repro.sim.network import Network
+from repro.sim.rng import DeterministicRng
+from repro.workload.requests import Transaction
+from repro.workload.ycsb import YcsbWorkload
+
+
+@dataclass
+class _PendingRequest:
+    """A transaction awaiting f + 1 matching Inform responses."""
+
+    transaction: Transaction
+    submitted_at: float
+    responders: Set[int] = field(default_factory=set)
+    confirmed: bool = False
+    retries: int = 0
+    target_replica: int = 0
+    timeout: float = 1.0
+
+
+class SpotLessClient(Actor):
+    """A closed-loop client: keeps ``outstanding`` requests in flight.
+
+    Latency is measured exactly as the paper does: from first submission of
+    a transaction to the receipt of the (f + 1)-th matching Inform.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        config: SpotLessConfig,
+        simulator: Simulator,
+        network: Network,
+        workload: YcsbWorkload,
+        outstanding: int = 4,
+        request_timeout: float = 2.0,
+        client_node_offset: Optional[int] = None,
+        rng: Optional[DeterministicRng] = None,
+    ) -> None:
+        offset = client_node_offset if client_node_offset is not None else config.num_replicas
+        super().__init__(offset + client_id, simulator, network)
+        self.client_id = client_id
+        self.config = config
+        self.workload = workload
+        self.outstanding = outstanding
+        self.request_timeout = request_timeout
+        self.rng = (rng or DeterministicRng(client_id + 1)).fork(f"client-{client_id}")
+
+        self.latency = Histogram(f"client-{client_id}-latency")
+        self.confirmed_transactions = 0
+        self.retransmissions = 0
+        self._pending: Dict[bytes, _PendingRequest] = {}
+        self._request_size_bytes = 160
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Fill the pipeline with the initial window of requests."""
+        for _ in range(self.outstanding):
+            self._submit_new_transaction()
+
+    def _submit_new_transaction(self) -> None:
+        transaction = self.workload.next_transaction(self.client_id)
+        request = _PendingRequest(
+            transaction=transaction,
+            submitted_at=self.now,
+            target_replica=self.rng.randint(0, self.config.num_replicas - 1),
+            timeout=self.request_timeout,
+        )
+        self._pending[transaction.digest()] = request
+        self._transmit(request)
+
+    def _transmit(self, request: _PendingRequest) -> None:
+        # ResilientDB disseminates the payload to all replicas up front
+        # (Section 6.1), so the simulator broadcasts the transaction itself.
+        self.broadcast(list(self.config.replica_ids()), request.transaction, self._request_size_bytes)
+        digest = request.transaction.digest()
+        self.call_later(request.timeout, lambda: self._on_request_timeout(digest))
+
+    def _on_request_timeout(self, digest: bytes) -> None:
+        request = self._pending.get(digest)
+        if request is None or request.confirmed:
+            return
+        # Fail over to the next replica with a doubled timeout (Section 5).
+        request.retries += 1
+        request.timeout *= 2.0
+        request.target_replica = (request.target_replica + 1) % self.config.num_replicas
+        self.retransmissions += 1
+        self._transmit(request)
+
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: int, payload: object) -> None:
+        """Handle Inform responses from replicas."""
+        if not isinstance(payload, InformMessage):
+            return
+        request = self._pending.get(payload.transaction_digest)
+        if request is None or request.confirmed:
+            return
+        request.responders.add(sender)
+        if len(request.responders) >= self.config.weak_quorum:
+            request.confirmed = True
+            self.confirmed_transactions += 1
+            self.latency.observe(self.now - request.submitted_at)
+            del self._pending[payload.transaction_digest]
+            self._submit_new_transaction()
+
+    # ------------------------------------------------------------------
+
+    def unconfirmed_count(self) -> int:
+        """Requests still waiting for f + 1 Informs."""
+        return len(self._pending)
+
+    def mean_latency(self) -> float:
+        """Mean confirmed-request latency in seconds."""
+        return self.latency.mean()
+
+
+__all__ = ["SpotLessClient"]

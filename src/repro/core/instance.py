@@ -1,0 +1,787 @@
+"""A single chained consensus instance of SpotLess.
+
+This module implements the per-instance protocol of Section 3 as a pure
+state machine:
+
+* the two per-view steps (Propose and Sync primitives, Section 3.1);
+* the normal-case replication protocol and its quorum events (Figure 3);
+* the acceptance rules A1–A3 and the extendability rules E1–E2
+  (Section 3.3);
+* Rapid View Synchronization with its three per-view states Recording,
+  Syncing and Certifying, the f + 1 view-skip rule and the Υ retransmission
+  flag (Figure 4, Section 3.4);
+* the Ask-recovery mechanism (Section 3.3/3.5).
+
+The instance does not perform I/O.  All interaction with the outside world
+goes through an :class:`InstanceEnvironment` supplied by the hosting replica
+(`repro.core.node` in the simulator, `repro.runtime` over TCP, or a plain
+test harness), which makes the state machine directly unit-testable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.chain import (
+    GENESIS_PROPOSAL_ID,
+    Proposal,
+    ProposalStatus,
+    ProposalStore,
+    proposal_digest,
+)
+from repro.core.config import SpotLessConfig
+from repro.core.messages import (
+    AskMessage,
+    Claim,
+    CpEntry,
+    ProposalForward,
+    ProposeMessage,
+    SyncMessage,
+)
+from repro.core.timeouts import AdaptiveTimeout, ExponentialBackoff
+from repro.crypto.authenticator import Signature
+from repro.crypto.certificates import Certificate
+
+
+class ViewState(enum.Enum):
+    """The three per-view states of Rapid View Synchronization (ST1-ST3)."""
+
+    RECORDING = "recording"
+    SYNCING = "syncing"
+    CERTIFYING = "certifying"
+
+
+TimerHandle = object
+TimerSetter = Callable[[str, float, Callable[[], None]], TimerHandle]
+TimerCanceller = Callable[[TimerHandle], None]
+
+
+@dataclass
+class InstanceEnvironment:
+    """Callbacks through which an instance interacts with its replica.
+
+    Attributes
+    ----------
+    replica_id:
+        Identifier of the hosting replica.
+    broadcast:
+        Send a message to every replica (including, per Remark 3.1, a local
+        self-delivery performed by the hosting replica).
+    send:
+        Send a message to one replica.
+    set_timer / cancel_timer:
+        Arm and cancel named timers; the instance never blocks.
+    next_batch:
+        Called when this replica is the primary and needs a batch of
+        transaction digests to propose.  Returning an empty tuple makes the
+        primary propose a no-op (Section 5).
+    on_commit:
+        Called once per newly committed proposal, in commit order.
+    sign / verify:
+        Produce and check digital signatures; may be identity stubs in
+        pure-logic tests.
+    now:
+        Current time, used only for adaptive timeout bookkeeping.
+    """
+
+    replica_id: int
+    broadcast: Callable[[object], None]
+    send: Callable[[int, object], None]
+    set_timer: TimerSetter
+    cancel_timer: TimerCanceller
+    next_batch: Callable[[int, int], Tuple[bytes, ...]]
+    on_commit: Callable[[int, Proposal], None]
+    sign: Callable[[object], Optional[Signature]] = lambda message: None
+    verify: Callable[[object, Optional[Signature], int], bool] = lambda message, signature, sender: True
+    now: Callable[[], float] = lambda: 0.0
+    # True when the hosting replica has client work queued for this instance;
+    # the fast path only proposes early when there is something useful to
+    # propose (an early no-op would waste the optimisation).
+    has_pending: Callable[[int], bool] = lambda instance_id: True
+
+
+@dataclass
+class _SyncRecord:
+    """Bookkeeping for one received Sync message."""
+
+    message: SyncMessage
+    signature: Optional[Signature]
+    received_at: float
+
+
+class SpotLessInstance:
+    """One chained rotational consensus instance.
+
+    Drive the instance by calling :meth:`start`, then feed it messages via
+    :meth:`on_propose`, :meth:`on_sync`, :meth:`on_ask` and
+    :meth:`on_forward`.  The instance reports committed proposals through
+    ``environment.on_commit`` and sends messages through
+    ``environment.broadcast`` / ``environment.send``.
+    """
+
+    def __init__(
+        self,
+        instance_id: int,
+        config: SpotLessConfig,
+        environment: InstanceEnvironment,
+    ) -> None:
+        self.instance_id = instance_id
+        self.config = config
+        self.env = environment
+        self.store = ProposalStore(instance=instance_id, commit_rule=config.commit_rule)
+
+        self.current_view = 0
+        self.state = ViewState.RECORDING
+        self.started = False
+
+        # Sync bookkeeping: view -> sender -> record (first Sync per sender per view).
+        self._sync_log: Dict[int, Dict[int, _SyncRecord]] = {}
+        # Claim votes: (view, digest|None) -> sender -> signature evidence.
+        self._claim_votes: Dict[Tuple[int, Optional[bytes]], Dict[int, Optional[Signature]]] = {}
+        # CP endorsements: (view, digest) -> sender -> view of the endorsing Sync.
+        self._cp_endorsements: Dict[Tuple[int, bytes], Dict[int, int]] = {}
+        # Views in which this replica already broadcast a Sync message.
+        self._synced_views: Set[int] = set()
+        # Highest view observed per sender (for the f+1 view-skip rule).
+        self._highest_view_seen: Dict[int, int] = {}
+        # Views this replica asked to have retransmitted (to avoid duplicate asks).
+        self._asked_proposals: Set[bytes] = set()
+        # (view, requester) pairs already served by _retransmit_own_sync, so a
+        # repeated Υ request does not trigger a second identical retransmission.
+        self._served_retransmissions: Set[Tuple[int, int]] = set()
+        # Proposals this replica proposed as primary, keyed by view.
+        self._own_proposals: Dict[int, bytes] = {}
+
+        if config.timeout_policy == "exponential":
+            self._recording_timeout = ExponentialBackoff(initial=config.recording_timeout)
+            self._certifying_timeout = ExponentialBackoff(initial=config.certifying_timeout)
+        else:
+            self._recording_timeout = AdaptiveTimeout(
+                initial=config.recording_timeout,
+                increment=config.timeout_increment,
+                fast_fraction=config.timeout_fast_fraction,
+                minimum=config.min_timeout,
+            )
+            self._certifying_timeout = AdaptiveTimeout(
+                initial=config.certifying_timeout,
+                increment=config.timeout_increment,
+                fast_fraction=config.timeout_fast_fraction,
+                minimum=config.min_timeout,
+            )
+        self._recording_timer: Optional[TimerHandle] = None
+        self._certifying_timer: Optional[TimerHandle] = None
+        self._view_entered_at = 0.0
+
+        # Fast-path state (Section 6.1 geo optimisation): active until this
+        # replica observes evidence of failures or Byzantine behaviour.
+        self._fast_path_active = config.enable_fast_path
+        # Failure claims seen per view, used for fast-path poisoning.
+        self._failure_claims: Dict[int, Set[int]] = {}
+
+        # Statistics used by experiments and tests.
+        self.views_entered = 0
+        self.proposals_made = 0
+        self.fast_path_proposals = 0
+        self.syncs_sent = 0
+        self.asks_sent = 0
+        self.view_skips = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Enter view 0 and begin participating."""
+        if self.started:
+            return
+        self.started = True
+        self._enter_view(0)
+
+    @property
+    def quorum(self) -> int:
+        """n − f."""
+        return self.config.quorum
+
+    @property
+    def weak_quorum(self) -> int:
+        """f + 1."""
+        return self.config.weak_quorum
+
+    def primary_of_view(self, view: int) -> int:
+        """Primary replica of this instance in ``view``."""
+        return self.config.primary_of(self.instance_id, view)
+
+    def is_primary(self, view: Optional[int] = None) -> bool:
+        """True when this replica is the primary of ``view`` (default: current)."""
+        view = self.current_view if view is None else view
+        return self.primary_of_view(view) == self.env.replica_id
+
+    # ------------------------------------------------------------------
+    # view entry and the primary role
+    # ------------------------------------------------------------------
+
+    def _cancel_timers(self) -> None:
+        if self._recording_timer is not None:
+            self.env.cancel_timer(self._recording_timer)
+            self._recording_timer = None
+        if self._certifying_timer is not None:
+            self.env.cancel_timer(self._certifying_timer)
+            self._certifying_timer = None
+
+    def _enter_view(self, view: int) -> None:
+        """Enter ``view`` in the Recording state (Figure 4, line 1-3)."""
+        self._cancel_timers()
+        self.current_view = view
+        self.state = ViewState.RECORDING
+        self.views_entered += 1
+        self._view_entered_at = self.env.now()
+
+        if self.is_primary(view):
+            self._run_primary_role(view)
+
+        # Backups (and the primary acting as its own backup) arm t_R.
+        if view not in self._synced_views:
+            self._recording_timer = self.env.set_timer(
+                self._timer_name("recording", view),
+                self._recording_timeout.interval,
+                lambda: self._on_recording_timeout(view),
+            )
+        # A proposal (or enough Syncs) may already have arrived for this view.
+        self._maybe_accept_pending(view)
+        self._check_sync_quorum(view)
+
+    def _timer_name(self, kind: str, view: int) -> str:
+        return f"i{self.instance_id}:{kind}:{view}"
+
+    def _run_primary_role(self, view: int) -> None:
+        """Primary role of Figure 3 (lines 12-14).
+
+        With the fast path enabled (Section 6.1), the primary optimistically
+        extends the proposal it recorded in view v − 1 even before gathering
+        the n − f votes that conditionally prepare it; backups still only
+        accept once rule A1 holds for them, so safety is untouched and the
+        benefit is purely the earlier proposal broadcast.  The fast path is
+        abandoned as soon as this replica observes failure evidence.
+        """
+        if view in self._own_proposals:
+            # Already proposed optimistically through the fast path.
+            return
+        parent, certificate, claim_quorum = self._highest_extendable(view)
+        batch = tuple(self.env.next_batch(self.instance_id, view))
+        message = ProposeMessage(
+            instance=self.instance_id,
+            view=view,
+            transaction_digests=batch,
+            parent_digest=parent.digest,
+            parent_view=parent.view,
+            parent_certificate=certificate,
+            parent_claim_quorum=claim_quorum,
+        )
+        self.proposals_made += 1
+        self._own_proposals[view] = proposal_digest(message)
+        self.env.broadcast(message)
+
+    def _highest_extendable(self, view: int) -> Tuple[Proposal, Optional[Certificate], Tuple[int, ...]]:
+        """HighestExtendable() of Figure 3 (lines 5-11).
+
+        Walks views downward looking for a conditionally prepared proposal
+        the primary can justify, either with a certificate built from n − f
+        signed Sync messages (E1) or with n − f CP endorsements (E2).
+        Falls back to the highest conditionally prepared proposal, and
+        ultimately the genesis proposal.
+        """
+        for candidate_view in range(view - 1, -1, -1):
+            proposal = self.store.conditionally_prepared_in_view(candidate_view)
+            if proposal is None:
+                continue
+            certificate = self._build_certificate(proposal)
+            if certificate is not None:
+                return proposal, certificate, ()
+            endorsers = self._cp_endorsers(proposal, below_view=view)
+            if len(endorsers) >= self.quorum:
+                return proposal, None, tuple(sorted(endorsers))
+        fallback = self.store.highest_conditionally_prepared()
+        certificate = self._build_certificate(fallback)
+        endorsers = self._cp_endorsers(fallback, below_view=view)
+        return fallback, certificate, tuple(sorted(endorsers))
+
+    def _maybe_fast_path_propose(self, accepted: Proposal) -> None:
+        """Section 6.1 fast path: propose for the next view before the quorum.
+
+        Called right after this replica accepted (voted for) ``accepted`` in
+        the current view.  If this replica is the primary of the next view
+        and the fast path is still active, it broadcasts its proposal for the
+        next view immediately — before the n − f Sync quorum for the current
+        view completes — extending the proposal it just voted for.  Backups
+        only accept the early proposal once rule A1 holds for them, so the
+        optimisation changes when the proposal is on the wire, not what can
+        commit.
+        """
+        if not self._fast_path_active:
+            return
+        next_view = accepted.view + 1
+        if accepted.view != self.current_view or not self.is_primary(next_view):
+            return
+        if next_view in self._own_proposals:
+            return
+        if not self.env.has_pending(self.instance_id):
+            return
+        batch = tuple(self.env.next_batch(self.instance_id, next_view))
+        message = ProposeMessage(
+            instance=self.instance_id,
+            view=next_view,
+            transaction_digests=batch,
+            parent_digest=accepted.digest,
+            parent_view=accepted.view,
+            parent_certificate=None,
+            parent_claim_quorum=(),
+        )
+        self.proposals_made += 1
+        self.fast_path_proposals += 1
+        self._own_proposals[next_view] = proposal_digest(message)
+        self.env.broadcast(message)
+
+    def _poison_fast_path(self) -> None:
+        """Fall back to the slow path after observing failure evidence."""
+        self._fast_path_active = False
+
+    def _build_certificate(self, proposal: Proposal) -> Optional[Certificate]:
+        """Build cert(P) from n − f recorded same-claim Sync signatures (E1)."""
+        if proposal.is_genesis:
+            return Certificate(statement=(proposal.view, proposal.digest), signatures=())
+        votes = self._claim_votes.get((proposal.view, proposal.digest), {})
+        if len(votes) < self.quorum:
+            return None
+        signatures = []
+        for sender, signature in sorted(votes.items()):
+            signatures.append(signature if signature is not None else Signature(signer=f"replica:{sender}", tag=b""))
+            if len(signatures) == self.quorum:
+                break
+        return Certificate(statement=(proposal.view, proposal.digest), signatures=tuple(signatures))
+
+    def _cp_endorsers(self, proposal: Proposal, below_view: Optional[int] = None) -> Set[int]:
+        """Replicas whose Sync messages carried ``proposal`` in their CP set."""
+        if proposal.is_genesis:
+            return set(self.config.replica_ids())
+        endorsements = self._cp_endorsements.get((proposal.view, proposal.digest), {})
+        if below_view is None:
+            return set(endorsements)
+        return {sender for sender, sync_view in endorsements.items() if sync_view < below_view}
+
+    # ------------------------------------------------------------------
+    # handling Propose
+    # ------------------------------------------------------------------
+
+    def on_propose(
+        self,
+        sender: int,
+        message: ProposeMessage,
+        signature: Optional[Signature] = None,
+    ) -> None:
+        """Handle a Propose message (checks S1-S4, then the backup role)."""
+        if message.instance != self.instance_id:
+            return
+        # (S1) signature of the primary over the proposal.
+        if not self.env.verify(message, signature, sender):
+            return
+        # (S3) the proposal must name its primary correctly; stale or future
+        # proposals are recorded so they can be recovered later, but only the
+        # current view's proposal triggers a Sync now.
+        expected_primary = self.primary_of_view(message.view)
+        if sender != expected_primary:
+            return
+        # (S4) certificate check: a valid certificate lets the replica
+        # conditionally prepare the parent even if it missed the Sync quorum.
+        if message.parent_certificate is not None:
+            if self._certificate_valid(message.parent_certificate, message.parent_digest, message.parent_view):
+                self._conditionally_prepare_reference(message.parent_digest, message.parent_view)
+            else:
+                return
+
+        proposal = self.store.record_message(message)
+        self._maybe_accept(proposal, message)
+
+    def _certificate_valid(self, certificate: Certificate, digest: bytes, view: int) -> bool:
+        """Validity check for cert(P′): right statement and an n − f quorum."""
+        if digest == GENESIS_PROPOSAL_ID:
+            return True
+        if certificate.statement != (view, digest):
+            return False
+        return certificate.has_quorum(self.quorum)
+
+    def _conditionally_prepare_reference(self, digest: bytes, view: int) -> None:
+        """Conditionally prepare a proposal known (at least) by reference."""
+        proposal = self.store.get(digest)
+        if proposal is None:
+            proposal = self.store.record_reference(digest, view)
+        self._conditionally_prepare(proposal)
+
+    def _maybe_accept(self, proposal: Proposal, message: ProposeMessage) -> None:
+        """Accept the proposal if it is for the current view and passes A1-A3."""
+        if message.view != self.current_view:
+            return
+        if self.current_view in self._synced_views:
+            return
+        if self.state != ViewState.RECORDING:
+            return
+        if not self.store.is_acceptable(message):
+            return
+        claim = Claim(view=message.view, digest=proposal.digest, primary_signature=None)
+        self._note_recording_progress()
+        self._broadcast_sync(claim)
+        self._maybe_fast_path_propose(proposal)
+
+    def _maybe_accept_pending(self, view: int) -> None:
+        """On view entry, accept a proposal that arrived before the view did."""
+        for proposal in self.store.proposals_in_view(view):
+            if proposal.message is not None:
+                self._maybe_accept(proposal, proposal.message)
+                if view in self._synced_views:
+                    return
+
+    def _note_recording_progress(self) -> None:
+        waited = self.env.now() - self._view_entered_at
+        self._recording_timeout.on_progress(waited)
+        if self._recording_timer is not None:
+            self.env.cancel_timer(self._recording_timer)
+            self._recording_timer = None
+
+    # ------------------------------------------------------------------
+    # Sync broadcasting
+    # ------------------------------------------------------------------
+
+    def _broadcast_sync(self, claim: Claim, retransmit_flag: bool = False, view: Optional[int] = None) -> None:
+        """Broadcast this replica's Sync message for ``view`` (once per view)."""
+        view = self.current_view if view is None else view
+        if view in self._synced_views and not retransmit_flag:
+            return
+        message = SyncMessage(
+            instance=self.instance_id,
+            view=view,
+            claim=claim,
+            cp_set=self.store.cp_set(),
+            retransmit_flag=retransmit_flag,
+        )
+        self._synced_views.add(view)
+        if view == self.current_view and self.state == ViewState.RECORDING:
+            self.state = ViewState.SYNCING
+        self.syncs_sent += 1
+        self.env.broadcast(message)
+
+    def _on_recording_timeout(self, view: int) -> None:
+        """t_R expired: claim a failure for ``view`` (Figure 3 line 18-19)."""
+        if view != self.current_view or view in self._synced_views:
+            return
+        self.timeouts += 1
+        self._recording_timeout.on_timeout()
+        self._poison_fast_path()
+        self._broadcast_sync(Claim.failure(view))
+
+    # ------------------------------------------------------------------
+    # handling Sync
+    # ------------------------------------------------------------------
+
+    def on_sync(
+        self,
+        sender: int,
+        message: SyncMessage,
+        signature: Optional[Signature] = None,
+    ) -> None:
+        """Handle a Sync message: quorum counting, CP bookkeeping, RVS rules."""
+        if message.instance != self.instance_id:
+            return
+        view = message.view
+        records = self._sync_log.setdefault(view, {})
+        is_new = sender not in records
+        if is_new:
+            records[sender] = _SyncRecord(
+                message=message,
+                signature=signature,
+                received_at=self.env.now(),
+            )
+            self._highest_view_seen[sender] = max(self._highest_view_seen.get(sender, -1), view)
+
+        # Claim vote bookkeeping (only the sender's first Sync per view counts).
+        if is_new and not message.claim.is_failure:
+            statement = (view, message.claim.digest)
+            self._claim_votes.setdefault(statement, {})[sender] = signature
+        if is_new and message.claim.is_failure:
+            # f + 1 failure claims for one view are evidence that a primary
+            # misbehaved or crashed: stop using the optimistic fast path.
+            claimants = self._failure_claims.setdefault(view, set())
+            claimants.add(sender)
+            if len(claimants) >= self.weak_quorum:
+                self._poison_fast_path()
+
+        # CP endorsements: every entry of the CP set endorses that proposal.
+        if is_new:
+            for entry in message.cp_set:
+                endorsements = self._cp_endorsements.setdefault((entry.view, entry.digest), {})
+                endorsements[sender] = view
+
+        # Υ flag: retransmit the Sync we broadcast in this view to the sender.
+        if message.retransmit_flag and view in self._synced_views:
+            self._retransmit_own_sync(view, sender)
+
+        self._apply_sync_rules(sender, message)
+
+    def _retransmit_own_sync(self, view: int, requester: int) -> None:
+        """Resend our own Sync of ``view`` to a replica that asked via Υ.
+
+        The retransmitted copy never carries the Υ flag itself: it answers a
+        catch-up request, it is not one.  Stripping the flag (and ignoring
+        requests from ourselves) prevents two catching-up replicas from
+        bouncing Υ-flagged Syncs back and forth forever.
+        """
+        if requester == self.env.replica_id:
+            return
+        if (view, requester) in self._served_retransmissions:
+            return
+        self._served_retransmissions.add((view, requester))
+        own = self._sync_log.get(view, {}).get(self.env.replica_id)
+        if own is not None:
+            source = own.message
+            reply = SyncMessage(
+                instance=source.instance,
+                view=source.view,
+                claim=source.claim,
+                cp_set=source.cp_set,
+                retransmit_flag=False,
+            )
+            self.env.send(requester, reply)
+            return
+        # We claimed the view but did not store our own copy (self-delivery
+        # disabled); rebuild an equivalent failure-claim Sync.
+        rebuilt = SyncMessage(
+            instance=self.instance_id,
+            view=view,
+            claim=Claim.failure(view),
+            cp_set=self.store.cp_set(),
+        )
+        self.env.send(requester, rebuilt)
+
+    def _apply_sync_rules(self, sender: int, message: SyncMessage) -> None:
+        view = message.view
+
+        # Rule: f+1 same-claim Syncs in our current view let us echo the claim
+        # even without the primary's proposal (Figure 3, lines 24-28).
+        if not message.claim.is_failure:
+            self._maybe_echo_claim(view, message.claim)
+
+        # Rule: n−f same-claim Syncs conditionally prepare the proposal
+        # (Figure 3, lines 20-21).
+        if not message.claim.is_failure:
+            self._maybe_conditionally_prepare_from_claims(view, message.claim)
+
+        # Rule: f+1 CP endorsements with higher views conditionally prepare
+        # an older proposal (Figure 3, lines 22-23).
+        for entry in message.cp_set:
+            self._maybe_conditionally_prepare_from_cp(entry)
+
+        # RVS: f+1 Syncs with views >= w > current view -> skip ahead (Figure 4,
+        # lines 12-15).
+        self._maybe_skip_views()
+
+        # State progress for the current view (Figure 4, lines 7-11).
+        self._check_sync_quorum(self.current_view)
+
+    def _maybe_echo_claim(self, view: int, claim: Claim) -> None:
+        if view != self.current_view or view in self._synced_views:
+            return
+        votes = self._claim_votes.get((view, claim.digest), {})
+        if len(votes) < self.weak_quorum:
+            return
+        self._note_recording_progress()
+        self._broadcast_sync(Claim(view=view, digest=claim.digest, primary_signature=None))
+        proposal = self.store.get(claim.digest)
+        if proposal is None or not proposal.has_payload():
+            self._send_ask(view, claim, list(votes.keys()))
+
+    def _send_ask(self, view: int, claim: Claim, holders: Sequence[int]) -> None:
+        """Ask the f+1 claim holders for the full proposal (Section 3.3)."""
+        if claim.digest is None or claim.digest in self._asked_proposals:
+            return
+        self._asked_proposals.add(claim.digest)
+        ask = AskMessage(instance=self.instance_id, view=view, claim=claim)
+        for holder in holders[: self.weak_quorum]:
+            if holder != self.env.replica_id:
+                self.asks_sent += 1
+                self.env.send(holder, ask)
+
+    def _maybe_conditionally_prepare_from_claims(self, view: int, claim: Claim) -> None:
+        votes = self._claim_votes.get((view, claim.digest), {})
+        if len(votes) < self.quorum or claim.digest is None:
+            return
+        proposal = self.store.get(claim.digest)
+        if proposal is None:
+            proposal = self.store.record_reference(claim.digest, view)
+            self._send_ask(view, claim, list(votes.keys()))
+        self._conditionally_prepare(proposal)
+        # Receiving the full n−f same-claim quorum for the current view
+        # completes the Certifying state and advances to the next view.
+        if view == self.current_view:
+            self._advance_view(view + 1, fast=True)
+
+    def _maybe_conditionally_prepare_from_cp(self, entry: CpEntry) -> None:
+        endorsements = self._cp_endorsements.get((entry.view, entry.digest), {})
+        higher_view_endorsers = [s for s, sync_view in endorsements.items() if sync_view > entry.view]
+        if len(higher_view_endorsers) < self.weak_quorum:
+            return
+        proposal = self.store.get(entry.digest)
+        if proposal is None:
+            proposal = self.store.record_reference(entry.digest, entry.view)
+        if proposal.status < ProposalStatus.CONDITIONALLY_PREPARED and not proposal.has_payload():
+            claim = Claim(view=entry.view, digest=entry.digest)
+            self._send_ask(entry.view, claim, higher_view_endorsers)
+        self._conditionally_prepare(proposal)
+
+    def _conditionally_prepare(self, proposal: Proposal) -> None:
+        newly_committed = self.store.mark_conditionally_prepared(proposal)
+        for committed in newly_committed:
+            self.env.on_commit(self.instance_id, committed)
+        # A proposal of the current view may have been recorded before its
+        # parent was conditionally prepared; rule A1 can now be satisfied, so
+        # re-evaluate acceptance (otherwise t_R would expire spuriously).
+        if self.current_view not in self._synced_views:
+            self._maybe_accept_pending(self.current_view)
+
+    def _maybe_skip_views(self) -> None:
+        """The f+1 higher-view skip of Rapid View Synchronization.
+
+        In the ``"gst"`` ablation mode this rule is disabled: replicas only
+        advance views through their own quorum progress and timer expiry, as
+        a Global-Synchronization-Time pacemaker would.
+        """
+        if self.config.view_sync_mode == "gst":
+            return
+        higher_views = sorted(
+            (view for view in self._highest_view_seen.values() if view > self.current_view),
+            reverse=True,
+        )
+        if len(higher_views) < self.weak_quorum:
+            return
+        target_view = higher_views[self.weak_quorum - 1]
+        if target_view <= self.current_view:
+            return
+        self.view_skips += 1
+        # Broadcast catch-up Syncs with the Υ flag for every skipped view.
+        for view in range(self.current_view, target_view):
+            if view not in self._synced_views:
+                self._broadcast_sync(Claim.failure(view), retransmit_flag=True, view=view)
+        self._advance_view(target_view, fast=False)
+
+    def _check_sync_quorum(self, view: int) -> None:
+        """Figure 4 lines 7-11: Syncing -> Certifying -> next view."""
+        if view != self.current_view:
+            return
+        records = self._sync_log.get(view, {})
+        if self.state == ViewState.SYNCING and len(records) >= self.quorum:
+            self.state = ViewState.CERTIFYING
+            self._certifying_timer = self.env.set_timer(
+                self._timer_name("certifying", view),
+                self._certifying_timeout.interval,
+                lambda: self._on_certifying_timeout(view),
+            )
+        if self.state == ViewState.CERTIFYING:
+            # The same-claim quorum path advances the view in
+            # _maybe_conditionally_prepare_from_claims; nothing more to do here.
+            pass
+
+    def _on_certifying_timeout(self, view: int) -> None:
+        """t_A expired without an n−f same-claim quorum: move on (Figure 4 line 10)."""
+        if view != self.current_view or self.state != ViewState.CERTIFYING:
+            return
+        self.timeouts += 1
+        self._certifying_timeout.on_timeout()
+        self._advance_view(view + 1, fast=False)
+
+    def _advance_view(self, new_view: int, fast: bool) -> None:
+        if new_view <= self.current_view:
+            return
+        if fast and self._certifying_timer is not None:
+            waited = self.env.now() - self._view_entered_at
+            self._certifying_timeout.on_progress(waited)
+        self._enter_view(new_view)
+
+    # ------------------------------------------------------------------
+    # Ask-recovery
+    # ------------------------------------------------------------------
+
+    def on_ask(self, sender: int, message: AskMessage) -> None:
+        """Reply to an Ask by forwarding the recorded proposal (Figure 3, 29-30)."""
+        if message.instance != self.instance_id or message.claim.digest is None:
+            return
+        proposal = self.store.get(message.claim.digest)
+        if proposal is None or proposal.message is None:
+            return
+        self.env.send(sender, ProposalForward(instance=self.instance_id, propose=proposal.message))
+
+    def on_forward(self, sender: int, message: ProposalForward) -> None:
+        """Handle a forwarded proposal obtained through Ask-recovery.
+
+        Besides recording the proposal, the handler walks the recovery one
+        step further back: if the forwarded proposal's parent is unknown (or
+        known only by reference), it asks the forwarder for that parent too,
+        so a replica that missed a stretch of views back-fills the whole
+        chain.  Filling in a parent link can also complete a previously
+        broken commit cascade, so the commit conditions are re-checked.
+        """
+        if message.instance != self.instance_id:
+            return
+        propose = message.propose
+        expected_primary = self.primary_of_view(propose.view)
+        if not self.env.verify(propose, message.primary_signature, expected_primary):
+            return
+        proposal = self.store.record_message(propose)
+        # If the proposal already has enough claim votes, conditionally prepare it.
+        votes = self._claim_votes.get((propose.view, proposal.digest), {})
+        if len(votes) >= self.quorum:
+            self._conditionally_prepare(proposal)
+        self._maybe_accept(proposal, propose)
+
+        # Recursive back-fill: fetch the preceding proposal if it is missing.
+        parent = self.store.get(propose.parent_digest)
+        if (
+            propose.parent_digest != GENESIS_PROPOSAL_ID
+            and (parent is None or not parent.has_payload())
+        ):
+            self._send_ask(
+                propose.parent_view,
+                Claim(view=propose.parent_view, digest=propose.parent_digest),
+                [sender],
+            )
+
+        # The attached payload may have completed a chain whose descendants
+        # were already conditionally prepared: re-run the commit cascade.
+        for committed in self.store.recheck_commits():
+            self.env.on_commit(self.instance_id, committed)
+
+    # ------------------------------------------------------------------
+    # introspection helpers used by the node, tests and experiments
+    # ------------------------------------------------------------------
+
+    def committed_count(self) -> int:
+        """Number of committed proposals in this instance."""
+        return len(self.store.committed_proposals())
+
+    def locked_view(self) -> int:
+        """View of the current lock P_lock."""
+        return self.store.lock.view
+
+    def sync_senders(self, view: int) -> Tuple[int, ...]:
+        """Replicas whose Sync for ``view`` has been received."""
+        return tuple(sorted(self._sync_log.get(view, {}).keys()))
+
+    def recording_timeout_interval(self) -> float:
+        """Current adaptive t_R interval."""
+        return self._recording_timeout.interval
+
+    def certifying_timeout_interval(self) -> float:
+        """Current adaptive t_A interval."""
+        return self._certifying_timeout.interval
+
+
+__all__ = ["InstanceEnvironment", "SpotLessInstance", "ViewState"]

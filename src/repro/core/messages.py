@@ -1,0 +1,192 @@
+"""SpotLess protocol messages.
+
+The message vocabulary follows Section 3:
+
+* ``Propose(v, τ, cert(P′))`` — the primary of view ``v`` proposes batch
+  ``τ`` extending proposal ``P′``, justified either by a certificate
+  (rule E1) or by a claim that n − f replicas conditionally prepared ``P′``
+  (rule E2).
+* ``Sync(v, claim(P), CP[, Υ])`` — a backup's vote for the proposal it
+  received in view ``v`` (or ``claim(∅)`` when it detected a failure),
+  together with the CP set of conditionally prepared proposals at or above
+  its lock, and optionally the retransmission flag Υ used by Rapid View
+  Synchronization.
+* ``Ask(v, claim(P))`` — sent by a replica that learned about ``P`` only via
+  f + 1 Sync messages and needs the full proposal.
+* ``Inform`` — execution result returned to the client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.crypto.authenticator import Signature
+from repro.crypto.certificates import Certificate
+from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class Claim:
+    """``claim(P) = (v, digest(P), ⟦P⟧_P)``: a claim that proposal P was
+    the well-formed proposal received in view v.
+
+    ``claim(∅)`` (a failure claim) is represented by ``digest = None``.
+    """
+
+    view: int
+    digest: Optional[bytes]
+    primary_signature: Optional[Signature] = None
+
+    @property
+    def is_failure(self) -> bool:
+        """True for ``claim(∅)`` — the replica saw no acceptable proposal."""
+        return self.digest is None
+
+    def canonical_fields(self) -> tuple:
+        """Canonical encoding for hashing and signing."""
+        signature_fields = self.primary_signature.canonical_fields() if self.primary_signature else None
+        return (self.view, self.digest, signature_fields)
+
+    def statement(self) -> tuple:
+        """The (view, digest) statement this claim makes, for quorum counting."""
+        return (self.view, self.digest)
+
+    @staticmethod
+    def failure(view: int) -> "Claim":
+        """Build a ``claim(∅)`` for ``view``."""
+        return Claim(view=view, digest=None, primary_signature=None)
+
+
+@dataclass(frozen=True)
+class CpEntry:
+    """One ``(view, digest)`` entry of a CP set."""
+
+    view: int
+    digest: bytes
+
+    def canonical_fields(self) -> tuple:
+        """Canonical encoding for hashing."""
+        return (self.view, self.digest)
+
+
+@dataclass(frozen=True)
+class ProposeMessage(Message):
+    """``Propose(v, τ, cert(P′))`` broadcast by the primary of view ``v``.
+
+    ``parent_digest`` identifies the preceding proposal P′.  Exactly one of
+    ``parent_certificate`` (rule E1) or ``parent_claim_quorum`` (rule E2 — a
+    tuple of replica ids whose Sync messages claimed P′ in their CP sets) is
+    set for non-genesis parents.
+    """
+
+    instance: int
+    view: int
+    transaction_digests: Tuple[bytes, ...]
+    parent_digest: bytes
+    parent_view: int
+    parent_certificate: Optional[Certificate] = None
+    parent_claim_quorum: Tuple[int, ...] = ()
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by the primary's signature."""
+        certificate_fields = self.parent_certificate.canonical_fields() if self.parent_certificate else None
+        return (
+            "propose",
+            self.instance,
+            self.view,
+            self.transaction_digests,
+            self.parent_digest,
+            self.parent_view,
+            certificate_fields,
+            self.parent_claim_quorum,
+        )
+
+
+@dataclass(frozen=True)
+class SyncMessage(Message):
+    """``Sync(v, claim(P), CP[, Υ])`` broadcast by every replica in view ``v``."""
+
+    instance: int
+    view: int
+    claim: Claim
+    cp_set: Tuple[CpEntry, ...] = ()
+    retransmit_flag: bool = False
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by the sender's MAC and signature."""
+        return (
+            "sync",
+            self.instance,
+            self.view,
+            self.claim.canonical_fields(),
+            tuple(entry.canonical_fields() for entry in self.cp_set),
+            self.retransmit_flag,
+        )
+
+
+@dataclass(frozen=True)
+class AskMessage(Message):
+    """``Ask(v, claim(P))`` — request the full proposal behind a claim."""
+
+    instance: int
+    view: int
+    claim: Claim
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        return ("ask", self.instance, self.view, self.claim.canonical_fields())
+
+
+@dataclass(frozen=True)
+class ProposalForward(Message):
+    """Reply to an Ask: the recorded Propose message forwarded verbatim."""
+
+    instance: int
+    propose: ProposeMessage
+    primary_signature: Optional[Signature] = None
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        signature_fields = self.primary_signature.canonical_fields() if self.primary_signature else None
+        return ("forward", self.instance, self.propose.canonical_fields(), signature_fields)
+
+
+@dataclass(frozen=True)
+class InformMessage(Message):
+    """Execution result returned to a client (Section 5)."""
+
+    replica: int
+    client_id: int
+    transaction_digest: bytes
+    success: bool = True
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        return ("inform", self.replica, self.client_id, self.transaction_digest, self.success)
+
+
+@dataclass(frozen=True)
+class ClientSubmission(Message):
+    """A client request as delivered to a replica's request pool."""
+
+    client_id: int
+    transaction_digest: bytes
+    payload_bytes: int
+    submitted_at: float
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        return ("submit", self.client_id, self.transaction_digest, self.payload_bytes)
+
+
+__all__ = [
+    "AskMessage",
+    "Claim",
+    "ClientSubmission",
+    "CpEntry",
+    "InformMessage",
+    "ProposalForward",
+    "ProposeMessage",
+    "SyncMessage",
+]

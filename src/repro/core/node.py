@@ -1,0 +1,472 @@
+"""The concurrent consensus architecture of SpotLess (Section 4 and 5).
+
+A :class:`SpotLessReplica` hosts ``m`` chained consensus instances, rotates
+their primaries (``id(P_{i,v}) = (i + v) mod n``), assigns incoming client
+requests to instances by digest, totally orders committed proposals by
+``(view, instance)``, executes them against the replica's YCSB table and
+ledger, and informs clients of the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.chain import Proposal
+from repro.core.config import SpotLessConfig
+from repro.core.instance import InstanceEnvironment, SpotLessInstance
+from repro.core.messages import (
+    AskMessage,
+    ClientSubmission,
+    InformMessage,
+    ProposalForward,
+    ProposeMessage,
+    SyncMessage,
+)
+from repro.ledger.block import BlockProof
+from repro.ledger.execution import ExecutionEngine, make_noop_transaction
+from repro.ledger.kvtable import KeyValueTable
+from repro.ledger.ledger import Ledger
+from repro.net.message import Message
+from repro.net.sizes import MessageSizeModel
+from repro.sim.actor import Actor
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.workload.requests import Transaction
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """A committed proposal placed into the global total order.
+
+    ``parent_view`` and ``has_payload`` support the execution frontier: a
+    replica only executes a view once its committed chain is known
+    contiguously up to that view and the proposal payloads are available
+    (Section 3.4 — replicas must recover full proposals via Ask before
+    executing them).
+    """
+
+    view: int
+    instance: int
+    proposal_digest: bytes
+    transaction_digests: Tuple[bytes, ...]
+    parent_view: Optional[int] = None
+    has_payload: bool = True
+
+    def order_key(self) -> Tuple[int, int]:
+        """Total-order key: low view first, then low instance id (Figure 6)."""
+        return (self.view, self.instance)
+
+
+class SpotLessReplica(Actor):
+    """A SpotLess replica running inside the discrete-event simulator.
+
+    Parameters
+    ----------
+    node_id:
+        The replica identifier (0 .. n − 1); also its network address.
+    config:
+        Shared deployment configuration.
+    simulator / network:
+        The simulation substrate.
+    size_model:
+        Wire-size model used to charge bandwidth for each message type.
+    client_node_offset:
+        Network address of client c is ``client_node_offset + c``.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: SpotLessConfig,
+        simulator: Simulator,
+        network: Network,
+        size_model: Optional[MessageSizeModel] = None,
+        client_node_offset: Optional[int] = None,
+    ) -> None:
+        super().__init__(node_id, simulator, network)
+        self.config = config
+        self.size_model = size_model or MessageSizeModel(batch_size=config.batch_size)
+        self.client_node_offset = client_node_offset if client_node_offset is not None else config.num_replicas
+
+        self.table = KeyValueTable()
+        self.ledger = Ledger()
+        self.execution = ExecutionEngine(table=self.table, ledger=self.ledger)
+
+        # Request pool and per-instance pending queues.
+        self._request_pool: Dict[bytes, Transaction] = {}
+        self._pending: Dict[int, List[bytes]] = {i: [] for i in range(config.num_instances)}
+        self._proposed_digests: Set[bytes] = set()
+        self._executed_digests: Set[bytes] = set()
+
+        # Commit tracking for the cross-instance total order.
+        self._committed_by_view: Dict[int, Dict[int, CommitRecord]] = {
+            i: {} for i in range(config.num_instances)
+        }
+        self._max_committed_view: Dict[int, int] = {i: -1 for i in range(config.num_instances)}
+        self._next_execution_view = 0
+        self.commit_log: List[CommitRecord] = []
+        self.executed_transactions = 0
+
+        self.instances: Dict[int, SpotLessInstance] = {}
+        for instance_id in range(config.num_instances):
+            self.instances[instance_id] = SpotLessInstance(
+                instance_id=instance_id,
+                config=config,
+                environment=self._make_environment(instance_id),
+            )
+
+    # ------------------------------------------------------------------
+    # environment wiring
+    # ------------------------------------------------------------------
+
+    def _make_environment(self, instance_id: int) -> InstanceEnvironment:
+        return InstanceEnvironment(
+            replica_id=self.node_id,
+            broadcast=lambda message: self._broadcast_protocol(instance_id, message),
+            send=lambda receiver, message: self._send_protocol(instance_id, receiver, message),
+            set_timer=self._set_instance_timer,
+            cancel_timer=self._cancel_instance_timer,
+            next_batch=self._next_batch,
+            on_commit=self._on_instance_commit,
+            sign=lambda message: None,
+            verify=lambda message, signature, sender: True,
+            now=lambda: self.simulator.now,
+            has_pending=lambda target_instance: bool(self._pending[target_instance]),
+        )
+
+    def _message_size(self, message: Message) -> int:
+        if isinstance(message, ProposeMessage):
+            quorum_signatures = self.config.quorum if message.parent_certificate else 0
+            return self.size_model.proposal_bytes() + quorum_signatures * self.size_model.constants.signature_bytes
+        if isinstance(message, ProposalForward):
+            return self.size_model.proposal_bytes()
+        if isinstance(message, InformMessage):
+            return self.size_model.reply_bytes()
+        if isinstance(message, SyncMessage):
+            return self.size_model.control_bytes(signatures=1)
+        return self.size_model.control_bytes()
+
+    def other_replicas(self) -> List[int]:
+        """All replica ids except this one."""
+        return [r for r in self.config.replica_ids() if r != self.node_id]
+
+    def _broadcast_protocol(self, instance_id: int, message: Message) -> None:
+        size = self._message_size(message)
+        self.broadcast(self.other_replicas(), (instance_id, message), size)
+        # Remark 3.1: replicas logically send to themselves as well; locally
+        # this is a zero-delay delivery that consumes no network resources.
+        # Scheduling (rather than calling directly) keeps handler call stacks
+        # flat when many catch-up messages are emitted in one step.
+        self.simulator.schedule(
+            0.0, lambda: self._dispatch(self.node_id, instance_id, message), label="self-delivery"
+        )
+
+    def _send_protocol(self, instance_id: int, receiver: int, message: Message) -> None:
+        if receiver == self.node_id:
+            self.simulator.schedule(
+                0.0, lambda: self._dispatch(self.node_id, instance_id, message), label="self-delivery"
+            )
+            return
+        self.send(receiver, (instance_id, message), self._message_size(message))
+
+    def _set_instance_timer(self, name: str, delay: float, callback) -> object:
+        return self.simulator.schedule(delay, callback, label=f"r{self.node_id}:{name}")
+
+    def _cancel_instance_timer(self, handle: object) -> None:
+        handle.cancel()
+
+    # ------------------------------------------------------------------
+    # client requests and batching
+    # ------------------------------------------------------------------
+
+    def submit_transaction(self, transaction: Transaction) -> None:
+        """Accept a client transaction into the request pool.
+
+        ResilientDB broadcasts request payloads ahead of consensus, so every
+        replica holds the payload and the instance responsible for the digest
+        queues it for proposal (Section 5/6.1).
+        """
+        digest = transaction.digest()
+        if digest in self._executed_digests:
+            return
+        instance_id = self._assign_instance(transaction)
+        if digest in self._request_pool:
+            # Client retransmission: if the request is neither queued nor
+            # already proposed-and-pending, queue it again so a proposal that
+            # ended up on an abandoned branch is eventually retried.
+            if digest in self._proposed_digests and digest not in self._pending[instance_id]:
+                self._proposed_digests.discard(digest)
+                self._pending[instance_id].append(digest)
+            return
+        self._request_pool[digest] = transaction
+        self._pending[instance_id].append(digest)
+        # A newly arrived payload may unblock a stalled execution frontier.
+        self._advance_execution()
+
+    def _assign_instance(self, transaction: Transaction) -> int:
+        """Instance responsible for proposing ``transaction``.
+
+        The paper assigns requests to instances by digest (Section 5), which
+        load-balances requests from the same client across instances.  The
+        ``"client"`` ablation policy instead binds every client to one
+        instance, RCC-style, so the load-balance ablation can compare the
+        two.  No-op transactions always use the digest rule.
+        """
+        if self.config.assignment_policy == "client" and transaction.client_id >= 0:
+            return transaction.client_id % self.config.num_instances
+        return transaction.instance_assignment(self.config.num_instances)
+
+    def pending_request_count(self) -> int:
+        """Requests queued across all instances and not yet proposed by this replica."""
+        return sum(len(queue) for queue in self._pending.values())
+
+    def pending_per_instance(self) -> Dict[int, int]:
+        """Queued-but-not-proposed request count per instance (load balance)."""
+        return {instance_id: len(queue) for instance_id, queue in self._pending.items()}
+
+    def _next_batch(self, instance_id: int, view: int) -> Tuple[bytes, ...]:
+        queue = self._pending[instance_id]
+        batch: List[bytes] = []
+        while queue and len(batch) < self.config.batch_size:
+            digest = queue.pop(0)
+            if digest in self._executed_digests or digest in self._proposed_digests:
+                continue
+            batch.append(digest)
+        if not batch:
+            # Section 5: propose a no-op so execution of other instances in
+            # this view is not blocked.
+            noop = make_noop_transaction(instance_id, view)
+            self._request_pool[noop.digest()] = noop
+            batch = [noop.digest()]
+        self._proposed_digests.update(batch)
+        return tuple(batch)
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every consensus instance."""
+        for instance in self.instances.values():
+            instance.start()
+
+    def on_message(self, sender: int, payload: object) -> None:
+        """Route a delivered message to the right instance or handler."""
+        if isinstance(payload, ClientSubmission):
+            # The full transaction travels with the submission in the simulator.
+            return
+        if isinstance(payload, Transaction):
+            self.submit_transaction(payload)
+            return
+        if isinstance(payload, tuple) and len(payload) == 2:
+            instance_id, message = payload
+            self._dispatch(sender, instance_id, message)
+
+    def _dispatch(self, sender: int, instance_id: int, message: Message) -> None:
+        instance = self.instances.get(instance_id)
+        if instance is None:
+            return
+        if isinstance(message, ProposeMessage):
+            instance.on_propose(sender, message)
+        elif isinstance(message, SyncMessage):
+            instance.on_sync(sender, message)
+        elif isinstance(message, AskMessage):
+            instance.on_ask(sender, message)
+        elif isinstance(message, ProposalForward):
+            instance.on_forward(sender, message)
+
+    # ------------------------------------------------------------------
+    # commits, total order and execution
+    # ------------------------------------------------------------------
+
+    def _on_instance_commit(self, instance_id: int, proposal: Proposal) -> None:
+        transactions: Tuple[bytes, ...] = ()
+        if proposal.message is not None:
+            transactions = proposal.message.transaction_digests
+        record = CommitRecord(
+            view=proposal.view,
+            instance=instance_id,
+            proposal_digest=proposal.digest,
+            transaction_digests=transactions,
+            parent_view=proposal.parent_view,
+            has_payload=proposal.message is not None,
+        )
+        self._committed_by_view[instance_id][proposal.view] = record
+        self._max_committed_view[instance_id] = max(self._max_committed_view[instance_id], proposal.view)
+        self.commit_log.append(record)
+        self._advance_execution()
+
+    def _instance_execution_frontier(self, instance_id: int) -> int:
+        """Highest view up to which this instance's committed chain is contiguous.
+
+        The committed records of an instance are walked in ascending view
+        order; a record extends the contiguous prefix only when its parent is
+        the genesis proposal or lies inside the prefix (a committed record at
+        a lower or equal view).  Views inside the prefix that have no record
+        provably carry no committed proposal (the chain jumps over them), so
+        execution may skip them; views beyond the prefix must wait until
+        Ask-recovery fills the gap, otherwise a recovering replica could
+        execute a subsequence of the order its peers executed.
+        """
+        records = self._committed_by_view[instance_id]
+        store = self.instances[instance_id].store
+        frontier = -1
+        for view in sorted(records):
+            record = records[view]
+            parent_view = record.parent_view
+            if parent_view is None:
+                # Committed by reference before the parent link was known;
+                # Ask-recovery may have attached it to the store since then.
+                proposal = store.get(record.proposal_digest)
+                if proposal is not None:
+                    parent_view = proposal.parent_view
+            if parent_view is None or parent_view > frontier:
+                break
+            if parent_view >= 0 and parent_view not in records:
+                break
+            frontier = view
+        return frontier
+
+    def _advance_execution(self) -> None:
+        """Execute committed proposals in (view, instance) order (Figure 6).
+
+        A view's proposals are executed once (a) every instance's committed
+        chain is contiguously known up to that view, so the total order for
+        the view is complete and gaps are provably empty, and (b) the payload
+        of every transaction in the view is locally available (payloads are
+        pre-disseminated by clients; no-ops are reconstructed
+        deterministically; everything else is fetched via Ask-recovery).
+        Missing chain segments or payloads stall the execution frontier until
+        they arrive, exactly as the paper requires replicas to recover full
+        proposals before executing them.
+        """
+        while True:
+            frontier = min(
+                self._instance_execution_frontier(instance_id)
+                for instance_id in range(self.config.num_instances)
+            )
+            if frontier < self._next_execution_view:
+                return
+            view = self._next_execution_view
+            resolved: List[Tuple[CommitRecord, List[Transaction]]] = []
+            for instance_id in range(self.config.num_instances):
+                record = self._committed_by_view[instance_id].get(view)
+                if record is None:
+                    continue
+                transactions = self._resolve_transactions(record)
+                if transactions is None:
+                    return
+                resolved.append((record, transactions))
+            for record, transactions in resolved:
+                self._execute_record(record, transactions)
+            self._next_execution_view += 1
+
+    def _resolve_transactions(self, record: CommitRecord) -> Optional[List[Transaction]]:
+        """Look up the payloads of a committed record.
+
+        Returns ``None`` when a non-reconstructible payload is missing, which
+        stalls execution until the payload arrives (via client dissemination
+        or retransmission).
+        """
+        digests = record.transaction_digests
+        if not record.has_payload:
+            # The proposal was committed by reference; Ask-recovery may have
+            # attached its payload to the instance store since then.
+            proposal = self.instances[record.instance].store.get(record.proposal_digest)
+            if proposal is None or proposal.message is None:
+                return None
+            digests = proposal.message.transaction_digests
+        transactions: List[Transaction] = []
+        for digest in digests:
+            transaction = self._request_pool.get(digest)
+            if transaction is None:
+                noop = make_noop_transaction(record.instance, record.view)
+                if noop.digest() == digest:
+                    transaction = noop
+                    self._request_pool[digest] = noop
+                else:
+                    return None
+            transactions.append(transaction)
+        return transactions
+
+    def _execute_record(self, record: CommitRecord, transactions: List[Transaction]) -> None:
+        fresh = [t for t in transactions if t.digest() not in self._executed_digests]
+        if not fresh:
+            return
+        for transaction in fresh:
+            self._executed_digests.add(transaction.digest())
+        proof = BlockProof(
+            protocol="spotless",
+            view=record.view,
+            instance=record.instance,
+            quorum=tuple(f"replica:{r}" for r in range(self.config.quorum)),
+        )
+        self.execution.execute_batch(fresh, proof=proof)
+        for transaction in fresh:
+            if transaction.is_noop():
+                continue
+            self.executed_transactions += 1
+            self._inform_client(transaction)
+
+    def _inform_client(self, transaction: Transaction) -> None:
+        inform = InformMessage(
+            replica=self.node_id,
+            client_id=transaction.client_id,
+            transaction_digest=transaction.digest(),
+        )
+        client_node = self.client_node_offset + transaction.client_id
+        if client_node in self.network.node_ids():
+            self.send(client_node, inform, self.size_model.reply_bytes())
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def total_order(self) -> List[CommitRecord]:
+        """All committed records sorted by the global total order."""
+        return sorted(self.commit_log, key=lambda record: record.order_key())
+
+    def committed_transaction_digests(self) -> List[bytes]:
+        """Digests of committed (not necessarily executed) transactions in order."""
+        digests: List[bytes] = []
+        for record in self.total_order():
+            digests.extend(record.transaction_digests)
+        return digests
+
+    def committed_client_transactions_per_instance(self) -> Dict[int, int]:
+        """Committed non-no-op transaction count per instance.
+
+        Used by the assignment-policy ablation: no-op filler proposals are
+        excluded so the count reflects how much useful work each instance
+        carried.
+        """
+        counts: Dict[int, int] = {i: 0 for i in range(self.config.num_instances)}
+        for record in self.commit_log:
+            for digest in record.transaction_digests:
+                transaction = self._request_pool.get(digest)
+                if transaction is not None and not transaction.is_noop():
+                    counts[record.instance] += 1
+        return counts
+
+    def committed_map(self) -> Dict[Tuple[int, int], bytes]:
+        """Mapping ``(view, instance) -> proposal digest`` of committed slots.
+
+        Non-divergence requires that any slot committed by two non-faulty
+        replicas holds the same proposal.
+        """
+        mapping: Dict[Tuple[int, int], bytes] = {}
+        for record in self.commit_log:
+            mapping[(record.view, record.instance)] = record.proposal_digest
+        return mapping
+
+    def executed_transaction_digests(self) -> List[bytes]:
+        """Digests of executed transactions in ledger order (a true prefix order)."""
+        return self.ledger.transaction_digests()
+
+    def state_digest(self) -> bytes:
+        """Digest of the replica's executed state (divergence checks)."""
+        return self.execution.state_digest()
+
+
+__all__ = ["CommitRecord", "SpotLessReplica"]

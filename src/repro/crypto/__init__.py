@@ -1,0 +1,41 @@
+"""Cryptographic primitives and their cost model.
+
+SpotLess authenticates every message: MACs for messages that are never
+forwarded and digital signatures for messages that may be forwarded (client
+requests, Propose, Sync).  The reproduction uses HMAC-SHA256 for both, with
+per-party secrets for MACs and a per-signer secret for signatures, which is
+unforgeable between honest parties in the simulation and therefore preserves
+every safety argument in the paper.
+
+The :mod:`repro.crypto.costs` module carries the performance side: relative
+CPU costs of MAC and digital-signature operations, which is what separates
+MAC-based protocols (PBFT, RCC, SpotLess) from signature-heavy ones
+(HotStuff, Narwhal-HS) in the evaluation.
+"""
+
+from repro.crypto.digest import digest_bytes, digest_hex, digest_of
+from repro.crypto.keys import KeyChain, KeyStore
+from repro.crypto.authenticator import (
+    InvalidSignatureError,
+    MacAuthenticator,
+    Signature,
+    SignatureScheme,
+)
+from repro.crypto.certificates import Certificate, QuorumTracker, ThresholdSignature
+from repro.crypto.costs import CryptoCostModel
+
+__all__ = [
+    "Certificate",
+    "CryptoCostModel",
+    "InvalidSignatureError",
+    "KeyChain",
+    "KeyStore",
+    "MacAuthenticator",
+    "QuorumTracker",
+    "Signature",
+    "SignatureScheme",
+    "ThresholdSignature",
+    "digest_bytes",
+    "digest_hex",
+    "digest_of",
+]

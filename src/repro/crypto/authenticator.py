@@ -1,0 +1,104 @@
+"""MAC and digital-signature authenticators.
+
+The paper uses MACs for messages that are never forwarded and digital
+signatures (DSs) for forwarded messages (client requests, Propose, and Sync
+messages, which carry both a MAC and a DS; the DS is only verified when
+recovery needs it).  Both are built on HMAC-SHA256 here: a MAC keyed with the
+pairwise secret, a "signature" keyed with the signer's own secret, which a
+verifier checks using the signer's verification material from its
+:class:`~repro.crypto.keys.KeyChain`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.digest import digest_bytes
+from repro.crypto.keys import KeyChain
+
+
+class InvalidSignatureError(ValueError):
+    """Raised when signature or MAC verification fails."""
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A digital signature: the signer identity plus the signature tag.
+
+    Matches the paper's notation ``⟦v⟧_p`` — value ``v`` signed by
+    participant ``p``.
+    """
+
+    signer: str
+    tag: bytes
+
+    def canonical_fields(self) -> tuple:
+        """Canonical representation used when signatures are themselves hashed."""
+        return (self.signer, self.tag)
+
+
+class SignatureScheme:
+    """Digital signatures for one participant."""
+
+    def __init__(self, keychain: KeyChain) -> None:
+        self._keychain = keychain
+
+    @property
+    def owner(self) -> str:
+        """Identity of the participant that signs with this scheme."""
+        return self._keychain.owner
+
+    def sign(self, value: Any) -> Signature:
+        """Sign ``value`` with the owner's secret."""
+        payload = digest_bytes(value)
+        tag = hmac.new(self._keychain.own_signing_secret(), payload, hashlib.sha256).digest()
+        return Signature(signer=self._keychain.owner, tag=tag)
+
+    def verify(self, value: Any, signature: Signature) -> bool:
+        """Check ``signature`` over ``value``; False for unknown signers."""
+        if not self._keychain.knows(signature.signer):
+            return False
+        payload = digest_bytes(value)
+        expected = hmac.new(self._keychain.signing_secret_of(signature.signer), payload, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature.tag)
+
+    def require_valid(self, value: Any, signature: Signature) -> None:
+        """Verify and raise :class:`InvalidSignatureError` on failure."""
+        if not self.verify(value, signature):
+            raise InvalidSignatureError(f"invalid signature from {signature.signer}")
+
+
+class MacAuthenticator:
+    """Pairwise message authentication codes for one participant."""
+
+    def __init__(self, keychain: KeyChain) -> None:
+        self._keychain = keychain
+
+    @property
+    def owner(self) -> str:
+        """Identity of the participant that authenticates with this MAC."""
+        return self._keychain.owner
+
+    def tag(self, peer: str, value: Any) -> bytes:
+        """Compute the MAC tag for ``value`` destined to / received from ``peer``."""
+        payload = digest_bytes(value)
+        return hmac.new(self._keychain.mac_secret_with(peer), payload, hashlib.sha256).digest()
+
+    def verify(self, peer: str, value: Any, tag: bytes) -> bool:
+        """Check the MAC tag on a message exchanged with ``peer``."""
+        try:
+            expected = self.tag(peer, value)
+        except KeyError:
+            return False
+        return hmac.compare_digest(expected, tag)
+
+    def require_valid(self, peer: str, value: Any, tag: bytes) -> None:
+        """Verify and raise :class:`InvalidSignatureError` on failure."""
+        if not self.verify(peer, value, tag):
+            raise InvalidSignatureError(f"invalid MAC from {peer}")
+
+
+__all__ = ["InvalidSignatureError", "MacAuthenticator", "Signature", "SignatureScheme"]

@@ -1,0 +1,103 @@
+"""Key management for replicas and clients.
+
+Every participant owns a signing secret and shares a pairwise MAC secret with
+every other participant.  A :class:`KeyStore` generates these secrets
+deterministically from a system seed, and each participant receives a
+:class:`KeyChain` view holding its own secrets plus the verification material
+for everyone else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Dict
+
+
+def _derive(seed: bytes, label: str) -> bytes:
+    """Derive a 32-byte secret from ``seed`` and a textual label."""
+    return hmac.new(seed, label.encode("utf-8"), hashlib.sha256).digest()
+
+
+@dataclass(frozen=True)
+class ParticipantId:
+    """Identifier of a protocol participant (replica or client)."""
+
+    kind: str
+    index: int
+
+    def label(self) -> str:
+        """Stable textual label used for key derivation."""
+        return f"{self.kind}:{self.index}"
+
+
+class KeyStore:
+    """System-wide generator of participant secrets.
+
+    The store is only used during setup; at run time every participant works
+    from its own :class:`KeyChain` and never touches other parties' signing
+    secrets (signature verification uses the signer's public label, and the
+    HMAC construction means "verification" recomputes the tag, which models a
+    verifier holding the signer's public key).
+    """
+
+    def __init__(self, seed: int = 2024) -> None:
+        self._seed = seed.to_bytes(8, "big", signed=False)
+
+    def signing_secret(self, participant: str) -> bytes:
+        """Signing secret owned by ``participant``."""
+        return _derive(self._seed, f"sign:{participant}")
+
+    def mac_secret(self, party_a: str, party_b: str) -> bytes:
+        """Pairwise MAC secret shared by two participants (order-free)."""
+        first, second = sorted((party_a, party_b))
+        return _derive(self._seed, f"mac:{first}:{second}")
+
+    def keychain(self, owner: str, participants: list[str]) -> "KeyChain":
+        """Build the key chain handed to ``owner``."""
+        mac_secrets = {peer: self.mac_secret(owner, peer) for peer in participants if peer != owner}
+        signing_secrets = {name: self.signing_secret(name) for name in participants}
+        return KeyChain(owner=owner, signing_secrets=signing_secrets, mac_secrets=mac_secrets)
+
+
+class KeyChain:
+    """Secrets available to one participant.
+
+    ``signing_secrets`` holds the derivation material for every participant
+    so that signature verification can be performed locally; this stands in
+    for public-key verification and keeps the simulation dependency-free.
+    Honest code never signs on behalf of another party; Byzantine behaviours
+    in :mod:`repro.faults` are restricted to the attacks the paper considers,
+    none of which involve forging honest signatures.
+    """
+
+    def __init__(self, owner: str, signing_secrets: Dict[str, bytes], mac_secrets: Dict[str, bytes]) -> None:
+        self.owner = owner
+        self._signing_secrets = dict(signing_secrets)
+        self._mac_secrets = dict(mac_secrets)
+
+    def own_signing_secret(self) -> bytes:
+        """This participant's signing secret."""
+        return self._signing_secrets[self.owner]
+
+    def signing_secret_of(self, participant: str) -> bytes:
+        """Verification material for ``participant``'s signatures."""
+        try:
+            return self._signing_secrets[participant]
+        except KeyError as exc:
+            raise KeyError(f"unknown participant {participant!r}") from exc
+
+    def mac_secret_with(self, peer: str) -> bytes:
+        """Pairwise MAC secret shared with ``peer``."""
+        try:
+            return self._mac_secrets[peer]
+        except KeyError as exc:
+            raise KeyError(f"no MAC secret with {peer!r}") from exc
+
+    def knows(self, participant: str) -> bool:
+        """True when verification material for ``participant`` is present."""
+        return participant in self._signing_secrets
+
+
+__all__ = ["KeyChain", "KeyStore", "ParticipantId"]

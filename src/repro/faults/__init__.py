@@ -1,0 +1,28 @@
+"""Byzantine behaviour and fault injection.
+
+The paper's failure experiments use non-responsive replicas (Figures 7(e,f),
+8, 9, 10, 12) and four Byzantine attack scenarios A1-A4 (Figure 11).  The
+injectors here act on the simulated network and on replica actors, so any of
+the implemented protocols can be subjected to the same faults.
+"""
+
+from repro.faults.injector import FaultInjector, FaultSchedule
+from repro.faults.attacks import (
+    AttackScenario,
+    DarknessAttack,
+    EquivocationAttack,
+    NonResponsiveAttack,
+    VoteWithholdingAttack,
+    attack_by_name,
+)
+
+__all__ = [
+    "AttackScenario",
+    "DarknessAttack",
+    "EquivocationAttack",
+    "FaultInjector",
+    "FaultSchedule",
+    "NonResponsiveAttack",
+    "VoteWithholdingAttack",
+    "attack_by_name",
+]

@@ -1,0 +1,138 @@
+"""The paper's Byzantine attack scenarios (Section 6.3, Figure 11).
+
+Each scenario is expressed as rules applied to the simulated network or to a
+faulty replica's outgoing messages:
+
+* **A1 — non-responsive**: the faulty replica stops sending and receiving.
+* **A2 — in the dark**: when the faulty replica is primary it withholds its
+  proposal from f non-faulty victims.
+* **A3 — equivocation**: the faulty replica sends conflicting votes — one
+  claim to f non-faulty replicas and a different one to the rest — trying to
+  cause divergence.
+* **A4 — vote withholding**: the faulty replica refuses to vote for the
+  proposals of non-faulty primaries, trying to make them look faulty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Set
+
+from repro.core.messages import ProposeMessage, SyncMessage
+from repro.protocols.hotstuff.messages import HsProposal, HsVote
+from repro.protocols.pbft.messages import PrepareMessage, PrePrepareMessage, CommitMessage
+
+
+def _protocol_message(payload: object) -> object:
+    """Unwrap the (instance, message) tuples SpotLess replicas exchange."""
+    if isinstance(payload, tuple) and len(payload) == 2:
+        return payload[1]
+    return payload
+
+
+@dataclass
+class AttackScenario:
+    """Base class: a drop rule plus optional per-replica behaviour."""
+
+    attackers: Set[int] = field(default_factory=set)
+    victims: Set[int] = field(default_factory=set)
+    name: str = "none"
+
+    def should_drop(self, sender: int, receiver: int, payload: object) -> bool:
+        """Network-level drop decision for a message in flight."""
+        return False
+
+    def configure(self, replicas: Sequence[object]) -> None:
+        """Hook for scenarios that need to alter replica behaviour directly."""
+
+
+@dataclass
+class NonResponsiveAttack(AttackScenario):
+    """A1: attackers neither send nor receive anything."""
+
+    name: str = "A1"
+
+    def should_drop(self, sender: int, receiver: int, payload: object) -> bool:
+        return sender in self.attackers or receiver in self.attackers
+
+
+@dataclass
+class DarknessAttack(AttackScenario):
+    """A2: attackers acting as primary keep ``victims`` in the dark.
+
+    Proposals (SpotLess Propose, PBFT PrePrepare, HotStuff proposals) from an
+    attacker to a victim are dropped; all other traffic flows normally, so
+    the attacker still looks alive.
+    """
+
+    name: str = "A2"
+
+    def should_drop(self, sender: int, receiver: int, payload: object) -> bool:
+        if sender not in self.attackers or receiver not in self.victims:
+            return False
+        message = _protocol_message(payload)
+        return isinstance(message, (ProposeMessage, PrePrepareMessage, HsProposal))
+
+
+@dataclass
+class EquivocationAttack(AttackScenario):
+    """A3: attackers send conflicting votes to different halves of the replicas.
+
+    In the simulator the observable effect of equivocation on non-faulty
+    replicas is that the attacker's votes are useless for reaching agreement:
+    votes sent to the ``victims`` group claim a different value, which we
+    model by dropping the attacker's votes toward the non-victim group and
+    corrupting none (safety must hold regardless, which the tests check).
+    """
+
+    name: str = "A3"
+
+    def should_drop(self, sender: int, receiver: int, payload: object) -> bool:
+        if sender not in self.attackers:
+            return False
+        message = _protocol_message(payload)
+        is_vote = isinstance(message, (SyncMessage, PrepareMessage, CommitMessage, HsVote))
+        return is_vote and receiver not in self.victims
+
+
+@dataclass
+class VoteWithholdingAttack(AttackScenario):
+    """A4: attackers refuse to vote for proposals of non-faulty primaries."""
+
+    name: str = "A4"
+
+    def should_drop(self, sender: int, receiver: int, payload: object) -> bool:
+        if sender not in self.attackers:
+            return False
+        message = _protocol_message(payload)
+        return isinstance(message, (SyncMessage, PrepareMessage, CommitMessage, HsVote))
+
+
+def attack_by_name(
+    name: str,
+    attackers: Iterable[int],
+    victims: Optional[Iterable[int]] = None,
+) -> AttackScenario:
+    """Build an attack scenario from its paper label (A1-A4)."""
+    attacker_set = set(attackers)
+    victim_set = set(victims or ())
+    scenarios = {
+        "A1": NonResponsiveAttack,
+        "A2": DarknessAttack,
+        "A3": EquivocationAttack,
+        "A4": VoteWithholdingAttack,
+    }
+    key = name.upper()
+    if key not in scenarios:
+        raise ValueError(f"unknown attack scenario {name!r}")
+    return scenarios[key](attackers=attacker_set, victims=victim_set, name=key)
+
+
+__all__ = [
+    "AttackScenario",
+    "DarknessAttack",
+    "EquivocationAttack",
+    "NonResponsiveAttack",
+    "VoteWithholdingAttack",
+    "attack_by_name",
+]

@@ -1,0 +1,103 @@
+"""Fault scheduling against a simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.faults.attacks import AttackScenario, NonResponsiveAttack
+from repro.sim.network import Network, Partition
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A timed fault event.
+
+    ``at`` is the simulated time at which the fault takes effect; ``until``
+    (optional) is when it heals.  ``kind`` selects the fault: ``crash`` marks
+    replicas down, ``attack`` installs an :class:`AttackScenario` drop rule,
+    ``partition`` splits the network into the given groups.
+    """
+
+    at: float
+    kind: str
+    replicas: tuple = ()
+    scenario: Optional[AttackScenario] = None
+    groups: tuple = ()
+    until: Optional[float] = None
+
+
+class FaultInjector:
+    """Applies fault schedules to a cluster's network and replicas.
+
+    The injector only schedules simulator callbacks; it performs no fault
+    action by itself at construction time, so the same cluster can be reused
+    across experiments with different schedules.
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.network: Network = cluster.network
+        self.applied: List[FaultSchedule] = []
+
+    # ------------------------------------------------------------------
+
+    def schedule(self, fault: FaultSchedule) -> None:
+        """Install one fault schedule."""
+        self.cluster.simulator.schedule(
+            max(0.0, fault.at - self.cluster.simulator.now),
+            lambda: self._apply(fault),
+            label=f"fault:{fault.kind}@{fault.at}",
+        )
+        if fault.until is not None:
+            self.cluster.simulator.schedule(
+                max(0.0, fault.until - self.cluster.simulator.now),
+                lambda: self._heal(fault),
+                label=f"heal:{fault.kind}@{fault.until}",
+            )
+
+    def crash_replicas(self, replicas: Sequence[int], at: float, until: Optional[float] = None) -> None:
+        """Make ``replicas`` non-responsive starting at time ``at``."""
+        self.schedule(FaultSchedule(at=at, kind="crash", replicas=tuple(replicas), until=until))
+
+    def launch_attack(self, scenario: AttackScenario, at: float, until: Optional[float] = None) -> None:
+        """Install a Byzantine attack scenario at time ``at``."""
+        self.schedule(FaultSchedule(at=at, kind="attack", scenario=scenario, until=until))
+
+    def partition(self, groups: Sequence[Sequence[int]], at: float, until: Optional[float] = None) -> None:
+        """Partition the network into ``groups`` at time ``at``."""
+        frozen = tuple(frozenset(group) for group in groups)
+        self.schedule(FaultSchedule(at=at, kind="partition", groups=frozen, until=until))
+
+    # ------------------------------------------------------------------
+
+    def _apply(self, fault: FaultSchedule) -> None:
+        self.applied.append(fault)
+        if fault.kind == "crash":
+            for replica in fault.replicas:
+                self.network.set_node_down(replica, True)
+        elif fault.kind == "attack" and fault.scenario is not None:
+            if isinstance(fault.scenario, NonResponsiveAttack):
+                for replica in fault.scenario.attackers:
+                    self.network.set_node_down(replica, True)
+            else:
+                self.network.add_drop_rule(fault.scenario.should_drop)
+                fault.scenario.configure(self.cluster.replicas)
+        elif fault.kind == "partition":
+            self.network.set_partition(Partition(groups=fault.groups))
+
+    def _heal(self, fault: FaultSchedule) -> None:
+        if fault.kind == "crash":
+            for replica in fault.replicas:
+                self.network.set_node_down(replica, False)
+        elif fault.kind == "attack" and fault.scenario is not None:
+            if isinstance(fault.scenario, NonResponsiveAttack):
+                for replica in fault.scenario.attackers:
+                    self.network.set_node_down(replica, False)
+            else:
+                self.network.clear_drop_rules()
+        elif fault.kind == "partition":
+            self.network.set_partition(None)
+
+
+__all__ = ["FaultInjector", "FaultSchedule"]

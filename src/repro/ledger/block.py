@@ -1,0 +1,68 @@
+"""Blocks stored in the replicated ledger."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.digest import digest_bytes
+
+
+@dataclass(frozen=True)
+class BlockProof:
+    """Cryptographic acceptance proof attached to a block.
+
+    In ResilientDB the ledger stores, next to every block, the consensus
+    certificate proving the block was accepted.  The proof records the
+    protocol, the consensus round identifiers, and the identities of the
+    quorum that accepted it.
+    """
+
+    protocol: str
+    view: int
+    instance: int
+    quorum: Tuple[str, ...]
+
+    def canonical_fields(self) -> tuple:
+        """Canonical encoding used when hashing the block."""
+        return (self.protocol, self.view, self.instance, self.quorum)
+
+
+@dataclass(frozen=True)
+class Block:
+    """One ledger entry: an ordered batch of executed transactions.
+
+    ``parent_digest`` chains blocks together, making the ledger tamper
+    evident; ``transactions`` holds the digests of the executed client
+    transactions in execution order.
+    """
+
+    height: int
+    parent_digest: bytes
+    transactions: Tuple[bytes, ...]
+    proof: Optional[BlockProof] = None
+
+    def canonical_fields(self) -> tuple:
+        """Canonical encoding of the block for hashing."""
+        proof_fields = self.proof.canonical_fields() if self.proof else None
+        return (self.height, self.parent_digest, self.transactions, proof_fields)
+
+    def digest(self) -> bytes:
+        """Digest identifying this block."""
+        return digest_bytes(self.canonical_fields())
+
+    @property
+    def transaction_count(self) -> int:
+        """Number of transactions covered by this block."""
+        return len(self.transactions)
+
+
+GENESIS_DIGEST = b"\x00" * 32
+
+
+def genesis_block() -> Block:
+    """The well-known genesis block shared by every replica."""
+    return Block(height=0, parent_digest=GENESIS_DIGEST, transactions=())
+
+
+__all__ = ["Block", "BlockProof", "GENESIS_DIGEST", "genesis_block"]

@@ -1,0 +1,21 @@
+"""Message envelope, size accounting and ResilientDB-style message buffering.
+
+The paper reports concrete wire sizes in the ResilientDB deployment: a
+proposal carrying a 100-transaction batch is 5400 B, a client reply is
+1748 B, and every other replication message is 432 B.  The size model in
+:mod:`repro.net.sizes` reproduces those constants and scales them with batch
+and transaction size for the Figure 7(b)/(d) experiments.
+"""
+
+from repro.net.message import Envelope, Message
+from repro.net.sizes import MessageSizeModel, SizeConstants
+from repro.net.batching import MessageBuffer, SendBuffer
+
+__all__ = [
+    "Envelope",
+    "Message",
+    "MessageBuffer",
+    "MessageSizeModel",
+    "SendBuffer",
+    "SizeConstants",
+]

@@ -1,0 +1,82 @@
+"""Chained HotStuff messages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class QuorumCert:
+    """A quorum certificate over ``(view, node_digest)``.
+
+    The paper's implementation represents threshold signatures as lists of
+    n − f secp256k1 signatures; ``signers`` records who contributed, and the
+    certificate's wire size and verification cost scale with that list.
+    """
+
+    view: int
+    node_digest: bytes
+    signers: Tuple[int, ...]
+
+    def canonical_fields(self) -> tuple:
+        """Canonical encoding for hashing."""
+        return (self.view, self.node_digest, self.signers)
+
+    def is_valid(self, quorum: int) -> bool:
+        """True when the certificate has at least ``quorum`` distinct signers."""
+        return len(set(self.signers)) >= quorum
+
+
+@dataclass(frozen=True)
+class HsProposal(Message):
+    """The leader's proposal for one view: a chain node extending ``justify``."""
+
+    view: int
+    node_digest: bytes
+    parent_digest: bytes
+    transaction_digests: Tuple[bytes, ...]
+    justify: Optional[QuorumCert]
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by the leader's signature."""
+        justify_fields = self.justify.canonical_fields() if self.justify else None
+        return (
+            "hs-proposal",
+            self.view,
+            self.node_digest,
+            self.parent_digest,
+            self.transaction_digests,
+            justify_fields,
+        )
+
+
+@dataclass(frozen=True)
+class HsVote(Message):
+    """A replica's (partial-signature) vote on a proposal, sent to the next leader."""
+
+    view: int
+    node_digest: bytes
+    voter: int
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by the voter's signature."""
+        return ("hs-vote", self.view, self.node_digest, self.voter)
+
+
+@dataclass(frozen=True)
+class HsNewView(Message):
+    """Pacemaker message: sent to the next leader on view timeout."""
+
+    view: int
+    high_qc: Optional[QuorumCert]
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        qc_fields = self.high_qc.canonical_fields() if self.high_qc else None
+        return ("hs-newview", self.view, qc_fields)
+
+
+__all__ = ["HsNewView", "HsProposal", "HsVote", "QuorumCert"]

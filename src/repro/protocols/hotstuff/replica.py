@@ -1,0 +1,317 @@
+"""Chained HotStuff replica."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.crypto.digest import digest_bytes
+from repro.net.message import Message
+from repro.net.sizes import MessageSizeModel
+from repro.protocols.common import BftConfig, BftReplicaBase
+from repro.protocols.hotstuff.messages import HsNewView, HsProposal, HsVote, QuorumCert
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+GENESIS_NODE_DIGEST = digest_bytes(("hotstuff-genesis",))
+
+
+@dataclass
+class ChainNode:
+    """One node of the HotStuff chain known to this replica."""
+
+    digest: bytes
+    view: int
+    parent_digest: Optional[bytes]
+    transaction_digests: Tuple[bytes, ...]
+    justify: Optional[QuorumCert]
+    height: int = 0
+    committed: bool = False
+
+
+class HotStuffReplica(BftReplicaBase):
+    """Pipelined (chained) HotStuff with a rotating leader and timeout pacemaker.
+
+    One proposal is made per view; votes for the view-``v`` proposal are sent
+    to the leader of view ``v + 1``, who aggregates them into a quorum
+    certificate and proposes the next chain node.  A node is committed when
+    it heads a three-chain of consecutive views, and committing a node
+    commits its entire uncommitted ancestor chain.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: BftConfig,
+        simulator: Simulator,
+        network: Network,
+        size_model: Optional[MessageSizeModel] = None,
+        client_node_offset: Optional[int] = None,
+        protocol_name: str = "hotstuff",
+    ) -> None:
+        super().__init__(
+            node_id,
+            config,
+            simulator,
+            network,
+            size_model=size_model,
+            protocol_name=protocol_name,
+            client_node_offset=client_node_offset,
+        )
+        genesis = ChainNode(
+            digest=GENESIS_NODE_DIGEST,
+            view=-1,
+            parent_digest=None,
+            transaction_digests=(),
+            justify=None,
+            height=0,
+            committed=True,
+        )
+        self.nodes: Dict[bytes, ChainNode] = {GENESIS_NODE_DIGEST: genesis}
+        self.view = 0
+        self.high_qc = QuorumCert(view=-1, node_digest=GENESIS_NODE_DIGEST, signers=tuple(config.replica_ids()))
+        self.locked_qc = self.high_qc
+        self.voted_views: Set[int] = set()
+        self._votes: Dict[Tuple[int, bytes], Set[int]] = {}
+        self._new_views: Dict[int, Set[int]] = {}
+        self._proposed_in_view: Set[int] = set()
+        self._committed_height = 0
+        self._view_timer: Optional[object] = None
+        self.view_timeouts = 0
+        self.proposals_made = 0
+
+    # ------------------------------------------------------------------
+
+    def leader_of(self, view: int) -> int:
+        """Rotating leader: replica ``view mod n``."""
+        return view % self.config.num_replicas
+
+    def is_leader(self, view: Optional[int] = None) -> bool:
+        """True when this replica leads ``view`` (default: current view)."""
+        view = self.view if view is None else view
+        return self.leader_of(view) == self.node_id
+
+    def start(self) -> None:
+        """Enter view 0; the first leader proposes immediately."""
+        self._arm_view_timer()
+        if self.is_leader(0):
+            self._propose(0)
+
+    # ------------------------------------------------------------------
+    # pacemaker
+    # ------------------------------------------------------------------
+
+    def _arm_view_timer(self) -> None:
+        if self._view_timer is not None:
+            self._view_timer.cancel()
+        view = self.view
+        self._view_timer = self.simulator.schedule(
+            self.config.view_change_timeout,
+            lambda: self._on_view_timeout(view),
+            label=f"hs-{self.node_id}-view-{view}",
+        )
+
+    def _on_view_timeout(self, view: int) -> None:
+        if view != self.view:
+            return
+        self.view_timeouts += 1
+        self._enter_view(view + 1)
+        new_view = HsNewView(view=self.view, high_qc=self.high_qc)
+        leader = self.leader_of(self.view)
+        if leader == self.node_id:
+            self.on_protocol_message(self.node_id, new_view)
+        else:
+            self.send(leader, new_view, self._size_of(new_view))
+
+    def _enter_view(self, view: int) -> None:
+        if view <= self.view and view != 0:
+            return
+        self.view = view
+        self._arm_view_timer()
+
+    # ------------------------------------------------------------------
+    # leader role
+    # ------------------------------------------------------------------
+
+    def _propose(self, view: int) -> None:
+        if view in self._proposed_in_view or not self.is_leader(view):
+            return
+        parent = self.nodes[self.high_qc.node_digest]
+        batch = self.take_batch(allow_empty=True) or ()
+        digest = digest_bytes(("hs-node", view, parent.digest, tuple(batch)))
+        proposal = HsProposal(
+            view=view,
+            node_digest=digest,
+            parent_digest=parent.digest,
+            transaction_digests=tuple(batch),
+            justify=self.high_qc,
+        )
+        self._proposed_in_view.add(view)
+        self.proposals_made += 1
+        self.broadcast_protocol(proposal, self._size_of(proposal))
+
+    def on_request_arrival(self) -> None:
+        """Leaders try to propose as soon as load arrives in their view."""
+        if self.is_leader(self.view):
+            self._propose(self.view)
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def _size_of(self, message: Message) -> int:
+        qc_signatures = self.config.num_replicas - self.config.f
+        if isinstance(message, HsProposal):
+            return self.size_model.proposal_bytes() + self.size_model.certificate_bytes(qc_signatures)
+        if isinstance(message, HsNewView):
+            return self.size_model.control_bytes() + self.size_model.certificate_bytes(qc_signatures)
+        return self.size_model.control_bytes(signatures=1)
+
+    def on_protocol_message(self, sender: int, payload: object) -> None:
+        """Dispatch HotStuff messages."""
+        if isinstance(payload, HsProposal):
+            self._on_proposal(sender, payload)
+        elif isinstance(payload, HsVote):
+            self._on_vote(sender, payload)
+        elif isinstance(payload, HsNewView):
+            self._on_new_view(sender, payload)
+
+    # -- proposals ------------------------------------------------------
+
+    def _record_node(self, proposal: HsProposal) -> ChainNode:
+        node = self.nodes.get(proposal.node_digest)
+        if node is not None:
+            return node
+        parent = self.nodes.get(proposal.parent_digest)
+        height = parent.height + 1 if parent is not None else 1
+        node = ChainNode(
+            digest=proposal.node_digest,
+            view=proposal.view,
+            parent_digest=proposal.parent_digest,
+            transaction_digests=proposal.transaction_digests,
+            justify=proposal.justify,
+            height=height,
+        )
+        self.nodes[proposal.node_digest] = node
+        return node
+
+    def _extends(self, node: ChainNode, ancestor_digest: bytes) -> bool:
+        current: Optional[ChainNode] = node
+        while current is not None:
+            if current.digest == ancestor_digest:
+                return True
+            if current.parent_digest is None:
+                return False
+            current = self.nodes.get(current.parent_digest)
+        return False
+
+    def _safe_node(self, node: ChainNode, justify: Optional[QuorumCert]) -> bool:
+        """HotStuff's safeNode predicate: safety rule OR liveness rule."""
+        locked_node = self.nodes.get(self.locked_qc.node_digest)
+        safety = locked_node is not None and self._extends(node, locked_node.digest)
+        liveness = justify is not None and justify.view > self.locked_qc.view
+        return safety or liveness
+
+    def _on_proposal(self, sender: int, proposal: HsProposal) -> None:
+        if sender != self.leader_of(proposal.view):
+            return
+        if proposal.justify is not None and not proposal.justify.is_valid(self.config.num_replicas - self.config.f):
+            if proposal.justify.node_digest != GENESIS_NODE_DIGEST:
+                return
+        self._update_high_qc(proposal.justify)
+        node = self._record_node(proposal)
+        self._apply_commit_rules(node)
+        if proposal.view < self.view or proposal.view in self.voted_views:
+            return
+        if not self._safe_node(node, proposal.justify):
+            return
+        self.voted_views.add(proposal.view)
+        self._enter_view(max(self.view, proposal.view))
+        vote = HsVote(view=proposal.view, node_digest=proposal.node_digest, voter=self.node_id)
+        next_leader = self.leader_of(proposal.view + 1)
+        if next_leader == self.node_id:
+            self.on_protocol_message(self.node_id, vote)
+        else:
+            self.send(next_leader, vote, self._size_of(vote))
+
+    # -- votes ------------------------------------------------------------
+
+    def _on_vote(self, sender: int, vote: HsVote) -> None:
+        key = (vote.view, vote.node_digest)
+        voters = self._votes.setdefault(key, set())
+        voters.add(vote.voter)
+        quorum = self.config.num_replicas - self.config.f
+        if len(voters) < quorum:
+            return
+        qc = QuorumCert(view=vote.view, node_digest=vote.node_digest, signers=tuple(sorted(voters)))
+        self._update_high_qc(qc)
+        next_view = vote.view + 1
+        if self.is_leader(next_view):
+            self._enter_view(max(self.view, next_view))
+            self._propose(next_view)
+
+    def _update_high_qc(self, qc: Optional[QuorumCert]) -> None:
+        if qc is None:
+            return
+        if qc.view > self.high_qc.view:
+            self.high_qc = qc
+
+    # -- pacemaker new-view ------------------------------------------------
+
+    def _on_new_view(self, sender: int, message: HsNewView) -> None:
+        self._update_high_qc(message.high_qc)
+        supporters = self._new_views.setdefault(message.view, set())
+        supporters.add(sender)
+        if len(supporters) >= self.config.num_replicas - self.config.f and self.is_leader(message.view):
+            self._enter_view(max(self.view, message.view))
+            self._propose(message.view)
+
+    # ------------------------------------------------------------------
+    # commit rules
+    # ------------------------------------------------------------------
+
+    def _apply_commit_rules(self, node: ChainNode) -> None:
+        """Three-chain commit: b'' ← b' ← b with consecutive views commits b.
+
+        ``node`` is the newest chain node; its justify certifies the parent,
+        whose justify certifies the grandparent, and so on.
+        """
+        if node.justify is None:
+            return
+        parent = self.nodes.get(node.justify.node_digest)
+        if parent is None or parent.justify is None:
+            return
+        grandparent = self.nodes.get(parent.justify.node_digest)
+        if grandparent is None or grandparent.justify is None:
+            return
+        great = self.nodes.get(grandparent.justify.node_digest)
+        if great is None:
+            return
+        if parent.view == grandparent.view + 1 and grandparent.view == great.view + 1:
+            self._commit_chain(great)
+
+    def _commit_chain(self, node: ChainNode) -> None:
+        chain: List[ChainNode] = []
+        current: Optional[ChainNode] = node
+        while current is not None and not current.committed:
+            chain.append(current)
+            current = self.nodes.get(current.parent_digest) if current.parent_digest else None
+        for member in reversed(chain):
+            member.committed = True
+            self._committed_height += 1
+            self.deliver_batch(
+                self._committed_height - 1,
+                member.transaction_digests,
+                view=member.view,
+                instance=0,
+            )
+
+    # ------------------------------------------------------------------
+
+    def committed_chain_height(self) -> int:
+        """Number of committed chain nodes (excluding genesis)."""
+        return self._committed_height
+
+
+__all__ = ["GENESIS_NODE_DIGEST", "ChainNode", "HotStuffReplica"]

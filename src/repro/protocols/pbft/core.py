@@ -1,0 +1,343 @@
+"""The PBFT consensus state machine for one instance.
+
+The core is a pure state machine (no I/O), shared by the standalone PBFT
+replica and by RCC, which runs one core per concurrent instance.  It
+implements the three normal-case phases (PrePrepare, Prepare, Commit) with
+out-of-order processing — the primary keeps up to ``pipeline_depth`` slots in
+flight — and the view-change protocol for replacing an unresponsive primary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.protocols.common import BftConfig
+from repro.protocols.pbft.messages import (
+    CommitMessage,
+    NewViewMessage,
+    PrepareMessage,
+    PrePrepareMessage,
+    ViewChangeMessage,
+)
+
+NOOP_BATCH: Tuple[bytes, ...] = ()
+
+
+@dataclass
+class PbftEnvironment:
+    """Callbacks connecting a :class:`PbftInstanceCore` to its replica."""
+
+    replica_id: int
+    broadcast: Callable[[object], None]
+    send: Callable[[int, object], None]
+    set_timer: Callable[[str, float, Callable[[], None]], object]
+    cancel_timer: Callable[[object], None]
+    next_batch: Callable[[int], Optional[Tuple[bytes, ...]]]
+    on_decide: Callable[[int, int, int, Tuple[bytes, ...]], None]
+    now: Callable[[], float] = lambda: 0.0
+
+
+@dataclass
+class SlotState:
+    """Consensus state of one sequence slot."""
+
+    sequence: int
+    view: int
+    digests: Optional[Tuple[bytes, ...]] = None
+    batch_digest: Optional[bytes] = None
+    prepares: Set[int] = field(default_factory=set)
+    commits: Set[int] = field(default_factory=set)
+    prepared: bool = False
+    committed: bool = False
+    commit_sent: bool = False
+
+
+class PbftInstanceCore:
+    """One PBFT instance: primary-backup three-phase commit with view changes.
+
+    The primary of view ``v`` is replica ``(instance_id + v) mod n`` so that
+    a standalone PBFT deployment (instance 0) starts with replica 0 as the
+    primary and RCC instances start with distinct primaries.
+    """
+
+    def __init__(self, instance_id: int, config: BftConfig, environment: PbftEnvironment) -> None:
+        self.instance_id = instance_id
+        self.config = config
+        self.env = environment
+
+        self.view = 0
+        self.next_sequence = 0
+        self.last_decided_sequence = -1
+        self.slots: Dict[int, SlotState] = {}
+        self.active = True
+        self.started = False
+
+        self._view_change_votes: Dict[int, Dict[int, ViewChangeMessage]] = {}
+        self._progress_timer: Optional[object] = None
+        self._progress_deadline_armed = False
+
+        self.view_changes = 0
+        self.decided_batches = 0
+        self.preprepares_sent = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def quorum(self) -> int:
+        """2f + 1."""
+        return self.config.quorum
+
+    def primary_of(self, view: Optional[int] = None) -> int:
+        """Primary replica of ``view`` (default: current view)."""
+        view = self.view if view is None else view
+        return (self.instance_id + view) % self.config.num_replicas
+
+    def is_primary(self) -> bool:
+        """True when this replica leads the current view."""
+        return self.primary_of() == self.env.replica_id
+
+    def start(self) -> None:
+        """Begin participating; the primary starts proposing immediately."""
+        if self.started:
+            return
+        self.started = True
+        self.try_propose()
+
+    def set_active(self, active: bool) -> None:
+        """Enable or disable this instance (RCC pauses misbehaving instances)."""
+        self.active = active
+
+    # ------------------------------------------------------------------
+    # primary role with out-of-order processing
+    # ------------------------------------------------------------------
+
+    def outstanding_slots(self) -> int:
+        """Slots proposed but not yet decided."""
+        return sum(1 for slot in self.slots.values() if not slot.committed and slot.digests is not None)
+
+    def try_propose(self) -> None:
+        """Propose new slots while the pipeline window has room (out-of-order)."""
+        if not self.active or not self.started or not self.is_primary():
+            return
+        while self.outstanding_slots() < self.config.pipeline_depth:
+            batch = self.env.next_batch(self.instance_id)
+            if batch is None:
+                return
+            message = PrePrepareMessage(
+                instance=self.instance_id,
+                view=self.view,
+                sequence=self.next_sequence,
+                transaction_digests=tuple(batch),
+            )
+            self.next_sequence += 1
+            self.preprepares_sent += 1
+            self.env.broadcast(message)
+
+    # ------------------------------------------------------------------
+    # normal-case message handling
+    # ------------------------------------------------------------------
+
+    def _slot(self, sequence: int, view: int) -> SlotState:
+        slot = self.slots.get(sequence)
+        if slot is None or slot.view < view:
+            slot = SlotState(sequence=sequence, view=view)
+            self.slots[sequence] = slot
+        return slot
+
+    def on_preprepare(self, sender: int, message: PrePrepareMessage) -> None:
+        """Handle the primary's proposal for a slot."""
+        if not self.active or message.instance != self.instance_id:
+            return
+        if message.view != self.view or sender != self.primary_of(message.view):
+            return
+        slot = self._slot(message.sequence, message.view)
+        if slot.digests is not None and slot.batch_digest != message.batch_digest():
+            # Equivocating primary: ignore the second proposal for the slot.
+            return
+        slot.digests = message.transaction_digests
+        slot.batch_digest = message.batch_digest()
+        self._cancel_progress_timer()
+        prepare = PrepareMessage(
+            instance=self.instance_id,
+            view=message.view,
+            sequence=message.sequence,
+            batch_digest=slot.batch_digest,
+        )
+        self.env.broadcast(prepare)
+        self._check_prepared(slot)
+
+    def on_prepare(self, sender: int, message: PrepareMessage) -> None:
+        """Handle a Prepare vote."""
+        if not self.active or message.instance != self.instance_id or message.view != self.view:
+            return
+        slot = self._slot(message.sequence, message.view)
+        if slot.batch_digest is not None and slot.batch_digest != message.batch_digest:
+            return
+        slot.prepares.add(sender)
+        self._check_prepared(slot)
+
+    def _check_prepared(self, slot: SlotState) -> None:
+        if slot.prepared or slot.digests is None:
+            return
+        # The PrePrepare counts as the primary's Prepare.
+        votes = set(slot.prepares)
+        votes.add(self.primary_of(slot.view))
+        if len(votes) < self.quorum:
+            return
+        slot.prepared = True
+        commit = CommitMessage(
+            instance=self.instance_id,
+            view=slot.view,
+            sequence=slot.sequence,
+            batch_digest=slot.batch_digest or b"",
+        )
+        slot.commit_sent = True
+        self.env.broadcast(commit)
+
+    def on_commit(self, sender: int, message: CommitMessage) -> None:
+        """Handle a Commit vote; decide the slot at 2f + 1 votes."""
+        if not self.active or message.instance != self.instance_id:
+            return
+        slot = self._slot(message.sequence, message.view)
+        if slot.batch_digest is not None and slot.batch_digest != message.batch_digest:
+            return
+        slot.commits.add(sender)
+        self._check_committed(slot)
+
+    def _check_committed(self, slot: SlotState) -> None:
+        if slot.committed or not slot.prepared or slot.digests is None:
+            return
+        if len(slot.commits) < self.quorum:
+            return
+        slot.committed = True
+        self.decided_batches += 1
+        self.last_decided_sequence = max(self.last_decided_sequence, slot.sequence)
+        self.env.on_decide(self.instance_id, slot.sequence, slot.view, slot.digests)
+        self.try_propose()
+
+    # ------------------------------------------------------------------
+    # failure detection and view change
+    # ------------------------------------------------------------------
+
+    def arm_progress_timer(self) -> None:
+        """Arm the request-progress timer used to detect a silent primary.
+
+        Backups arm it when they know of pending requests that the primary
+        should be proposing; if it expires a view change starts.
+        """
+        if self._progress_deadline_armed or self.is_primary() or not self.active:
+            return
+        self._progress_deadline_armed = True
+        self._progress_timer = self.env.set_timer(
+            f"pbft-{self.instance_id}-progress-{self.view}",
+            self.config.request_timeout,
+            self._on_progress_timeout,
+        )
+
+    def _cancel_progress_timer(self) -> None:
+        if self._progress_timer is not None:
+            self.env.cancel_timer(self._progress_timer)
+            self._progress_timer = None
+        self._progress_deadline_armed = False
+
+    def _on_progress_timeout(self) -> None:
+        self._progress_timer = None
+        self._progress_deadline_armed = False
+        if not self.active:
+            return
+        self.request_view_change(self.view + 1)
+
+    def request_view_change(self, new_view: int) -> None:
+        """Broadcast a ViewChange message for ``new_view``."""
+        if new_view <= self.view and self.started:
+            new_view = self.view + 1
+        prepared_slots = tuple(
+            (slot.sequence, slot.view, slot.digests)
+            for slot in self.slots.values()
+            if slot.prepared and not slot.committed and slot.digests is not None
+        )
+        message = ViewChangeMessage(
+            instance=self.instance_id,
+            new_view=new_view,
+            last_executed=self.last_decided_sequence,
+            prepared_slots=prepared_slots,
+        )
+        self.env.broadcast(message)
+
+    def on_view_change(self, sender: int, message: ViewChangeMessage) -> None:
+        """Collect ViewChange votes; the new primary announces NewView at 2f + 1."""
+        if message.instance != self.instance_id or message.new_view <= self.view:
+            return
+        votes = self._view_change_votes.setdefault(message.new_view, {})
+        votes[sender] = message
+        if len(votes) < self.quorum:
+            return
+        if self.primary_of(message.new_view) != self.env.replica_id:
+            return
+        # Re-propose every slot prepared by any member of the quorum.
+        reproposals: Dict[int, Tuple[bytes, ...]] = {}
+        for vote in votes.values():
+            for sequence, _view, digests in vote.prepared_slots:
+                reproposals.setdefault(sequence, digests)
+        new_view_message = NewViewMessage(
+            instance=self.instance_id,
+            new_view=message.new_view,
+            reproposals=tuple(sorted(reproposals.items())),
+            supporters=tuple(sorted(votes.keys())),
+        )
+        self.env.broadcast(new_view_message)
+
+    def on_new_view(self, sender: int, message: NewViewMessage) -> None:
+        """Enter the announced view and reprocess the re-proposed slots."""
+        if message.instance != self.instance_id or message.new_view <= self.view:
+            return
+        if sender != self.primary_of(message.new_view):
+            return
+        if len(message.supporters) < self.quorum:
+            return
+        self.view = message.new_view
+        self.view_changes += 1
+        self._cancel_progress_timer()
+        self._view_change_votes = {v: votes for v, votes in self._view_change_votes.items() if v > self.view}
+        for sequence, digests in message.reproposals:
+            slot = self._slot(sequence, self.view)
+            if slot.committed:
+                continue
+            slot.digests = digests
+            slot.batch_digest = b"".join(digests)
+            slot.prepares.clear()
+            slot.commits.clear()
+            slot.prepared = False
+            prepare = PrepareMessage(
+                instance=self.instance_id,
+                view=self.view,
+                sequence=sequence,
+                batch_digest=slot.batch_digest,
+            )
+            self.env.broadcast(prepare)
+        if self.is_primary():
+            self.next_sequence = max(self.next_sequence, self.last_decided_sequence + 1)
+            existing = max(self.slots.keys(), default=-1)
+            self.next_sequence = max(self.next_sequence, existing + 1)
+            self.try_propose()
+
+    # ------------------------------------------------------------------
+    # dispatch helper
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: int, message: object) -> None:
+        """Dispatch any PBFT message to the right handler."""
+        if isinstance(message, PrePrepareMessage):
+            self.on_preprepare(sender, message)
+        elif isinstance(message, PrepareMessage):
+            self.on_prepare(sender, message)
+        elif isinstance(message, CommitMessage):
+            self.on_commit(sender, message)
+        elif isinstance(message, ViewChangeMessage):
+            self.on_view_change(sender, message)
+        elif isinstance(message, NewViewMessage):
+            self.on_new_view(sender, message)
+
+
+__all__ = ["NOOP_BATCH", "PbftEnvironment", "PbftInstanceCore", "SlotState"]

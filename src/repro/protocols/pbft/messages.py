@@ -1,0 +1,127 @@
+"""PBFT protocol messages.
+
+All messages carry an ``instance`` field so the same message types can be
+reused by RCC, which runs one PBFT instance per replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class PrePrepareMessage(Message):
+    """Primary's proposal for a sequence slot (carries the batch digests)."""
+
+    instance: int
+    view: int
+    sequence: int
+    transaction_digests: Tuple[bytes, ...]
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        return ("preprepare", self.instance, self.view, self.sequence, self.transaction_digests)
+
+    def batch_digest(self) -> bytes:
+        """Digest identifying the proposed batch."""
+        return b"".join(self.transaction_digests)
+
+
+@dataclass(frozen=True)
+class PrepareMessage(Message):
+    """Backup's Prepare vote for (view, sequence, batch digest)."""
+
+    instance: int
+    view: int
+    sequence: int
+    batch_digest: bytes
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        return ("prepare", self.instance, self.view, self.sequence, self.batch_digest)
+
+
+@dataclass(frozen=True)
+class CommitMessage(Message):
+    """Commit vote for (view, sequence, batch digest)."""
+
+    instance: int
+    view: int
+    sequence: int
+    batch_digest: bytes
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        return ("commit", self.instance, self.view, self.sequence, self.batch_digest)
+
+
+@dataclass(frozen=True)
+class Checkpoint(Message):
+    """Periodic checkpoint of the executed prefix (bounds log growth)."""
+
+    instance: int
+    sequence: int
+    state_digest: bytes
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        return ("checkpoint", self.instance, self.sequence, self.state_digest)
+
+
+@dataclass(frozen=True)
+class ViewChangeMessage(Message):
+    """Request to move ``instance`` to ``new_view``.
+
+    ``prepared_slots`` carries, for every slot the sender prepared in earlier
+    views, the ``(sequence, view, batch digests)`` triple — the information
+    the new primary needs to re-propose unfinished slots.
+    """
+
+    instance: int
+    new_view: int
+    last_executed: int
+    prepared_slots: Tuple[Tuple[int, int, Tuple[bytes, ...]], ...]
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        return ("viewchange", self.instance, self.new_view, self.last_executed, self.prepared_slots)
+
+
+@dataclass(frozen=True)
+class NewViewMessage(Message):
+    """New primary's announcement of ``new_view`` with slots to re-propose."""
+
+    instance: int
+    new_view: int
+    reproposals: Tuple[Tuple[int, Tuple[bytes, ...]], ...]
+    supporters: Tuple[int, ...]
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        return ("newview", self.instance, self.new_view, self.reproposals, self.supporters)
+
+
+@dataclass(frozen=True)
+class ComplaintMessage(Message):
+    """RCC complaint: the sender suspects the primary of ``instance``."""
+
+    instance: int
+    view: int
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        return ("complaint", self.instance, self.view)
+
+
+__all__ = [
+    "Checkpoint",
+    "CommitMessage",
+    "ComplaintMessage",
+    "NewViewMessage",
+    "PrePrepareMessage",
+    "PrepareMessage",
+    "ViewChangeMessage",
+]

@@ -1,0 +1,12 @@
+"""RCC: Resilient Concurrent Consensus (Gupta et al., ICDE 2021).
+
+RCC turns PBFT into a concurrent consensus protocol by running one PBFT
+instance per replica, each with its own primary.  Faulty primaries are
+detected through complaints; after f + 1 complaints the instance is shut
+down for an exponentially increasing number of rounds — the back-off
+behaviour responsible for the throughput dips the paper shows in Figure 12.
+"""
+
+from repro.protocols.rcc.replica import RccReplica
+
+__all__ = ["RccReplica"]

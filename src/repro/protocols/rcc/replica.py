@@ -1,0 +1,207 @@
+"""RCC replica: concurrent PBFT instances with complaint-driven back-off."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ledger.execution import make_noop_transaction
+from repro.net.message import Message
+from repro.net.sizes import MessageSizeModel
+from repro.protocols.common import BftConfig, BftReplicaBase
+from repro.protocols.pbft.core import PbftEnvironment, PbftInstanceCore
+from repro.protocols.pbft.messages import (
+    CommitMessage,
+    ComplaintMessage,
+    NewViewMessage,
+    PrepareMessage,
+    PrePrepareMessage,
+    ViewChangeMessage,
+)
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.workload.requests import Transaction
+
+
+class RccReplica(BftReplicaBase):
+    """An RCC replica hosting ``num_instances`` concurrent PBFT instances.
+
+    * each instance ``i`` is initially led by replica ``i`` (fixed primary
+      until a view change replaces it);
+    * client requests are assigned to instances by digest, as in SpotLess,
+      so every primary proposes a disjoint share of the load;
+    * decisions are ordered globally by ``(sequence, instance)``; idle
+      instances propose no-ops so execution of a sequence round never blocks
+      on an instance without load;
+    * a replica that suspects a primary broadcasts a complaint; after f + 1
+      complaints the instance's primary is replaced via the PBFT view change
+      and the instance is ignored for an exponentially increasing number of
+      rounds (the paper's back-off penalty).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: BftConfig,
+        simulator: Simulator,
+        network: Network,
+        size_model: Optional[MessageSizeModel] = None,
+        client_node_offset: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            node_id,
+            config,
+            simulator,
+            network,
+            size_model=size_model,
+            protocol_name="rcc",
+            client_node_offset=client_node_offset,
+        )
+        self.num_instances = config.num_instances
+        self._instance_pending: Dict[int, List[bytes]] = {i: [] for i in range(self.num_instances)}
+        self._noop_positions: Dict[int, Tuple[int, int]] = {}
+        self._complaints: Dict[Tuple[int, int], Set[int]] = {}
+        self._backoff_rounds: Dict[int, int] = {i: 0 for i in range(self.num_instances)}
+        self._backoff_until_sequence: Dict[int, int] = {i: -1 for i in range(self.num_instances)}
+
+        self.cores: Dict[int, PbftInstanceCore] = {}
+        for instance_id in range(self.num_instances):
+            self.cores[instance_id] = PbftInstanceCore(
+                instance_id=instance_id,
+                config=config,
+                environment=PbftEnvironment(
+                    replica_id=node_id,
+                    broadcast=lambda message, _i=instance_id: self._broadcast_core(message),
+                    send=lambda receiver, message: self.send(receiver, message, self._size_of(message)),
+                    set_timer=lambda name, delay, callback: self.simulator.schedule(delay, callback, label=name),
+                    cancel_timer=lambda handle: handle.cancel(),
+                    next_batch=self._next_instance_batch,
+                    on_decide=self._on_instance_decide,
+                    now=lambda: self.simulator.now,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # request routing
+    # ------------------------------------------------------------------
+
+    def submit_transaction(self, transaction: Transaction) -> None:
+        """Route the request to the instance responsible for its digest."""
+        digest = transaction.digest()
+        already_known = digest in self._request_pool
+        super().submit_transaction(transaction)
+        if not already_known and digest in self._request_pool:
+            instance_id = transaction.instance_assignment(self.num_instances)
+            self._instance_pending[instance_id].append(digest)
+
+    def on_request_arrival(self) -> None:
+        """Primaries propose; backups arm the per-instance failure timer."""
+        for core in self.cores.values():
+            if core.is_primary():
+                core.try_propose()
+            else:
+                core.arm_progress_timer()
+
+    def _next_instance_batch(self, instance_id: int) -> Optional[Tuple[bytes, ...]]:
+        queue = self._instance_pending[instance_id]
+        batch: List[bytes] = []
+        while queue and len(batch) < self.config.batch_size:
+            digest = queue.pop(0)
+            if digest in self._executed_digests or digest in self._proposed_digests:
+                continue
+            batch.append(digest)
+        if not batch:
+            core = self.cores[instance_id]
+            noop = make_noop_transaction(instance_id, core.next_sequence)
+            self._request_pool[noop.digest()] = noop
+            batch = [noop.digest()]
+        self._proposed_digests.update(batch)
+        return tuple(batch)
+
+    def resolve_noop(self, digest: bytes, position: int) -> Optional[Transaction]:
+        """Reconstruct the deterministic no-op proposed for ``position``."""
+        instance_id = position % self.num_instances
+        sequence = position // self.num_instances
+        noop = make_noop_transaction(instance_id, sequence)
+        if noop.digest() == digest:
+            return noop
+        return None
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+
+    def _size_of(self, message: Message) -> int:
+        if isinstance(message, PrePrepareMessage):
+            return self.size_model.proposal_bytes()
+        if isinstance(message, (ViewChangeMessage, NewViewMessage)):
+            return self.size_model.control_bytes(signatures=self.config.quorum)
+        return self.size_model.control_bytes()
+
+    def _broadcast_core(self, message: Message) -> None:
+        self.broadcast_protocol(message, self._size_of(message))
+
+    def start(self) -> None:
+        """Start every instance core."""
+        for core in self.cores.values():
+            core.start()
+
+    def on_protocol_message(self, sender: int, payload: object) -> None:
+        """Route consensus messages by instance; handle complaints."""
+        if isinstance(payload, ComplaintMessage):
+            self._on_complaint(sender, payload)
+            return
+        instance_id = getattr(payload, "instance", None)
+        core = self.cores.get(instance_id)
+        if core is not None:
+            core.on_message(sender, payload)
+
+    # ------------------------------------------------------------------
+    # decisions: total order by (sequence, instance)
+    # ------------------------------------------------------------------
+
+    def _on_instance_decide(self, instance: int, sequence: int, view: int, digests: Tuple[bytes, ...]) -> None:
+        position = sequence * self.num_instances + instance
+        self.deliver_batch(position, digests, view=view, instance=instance)
+        # Keep idle instances moving so the round can complete.
+        core = self.cores[instance]
+        if core.is_primary():
+            core.try_propose()
+
+    # ------------------------------------------------------------------
+    # complaints and exponential back-off
+    # ------------------------------------------------------------------
+
+    def complain(self, instance_id: int) -> None:
+        """Broadcast a complaint about the primary of ``instance_id``."""
+        core = self.cores[instance_id]
+        message = ComplaintMessage(instance=instance_id, view=core.view)
+        self.broadcast_protocol(message, self.size_model.control_bytes())
+
+    def _on_complaint(self, sender: int, message: ComplaintMessage) -> None:
+        key = (message.instance, message.view)
+        complainers = self._complaints.setdefault(key, set())
+        complainers.add(sender)
+        if len(complainers) < self.config.weak_quorum:
+            return
+        core = self.cores.get(message.instance)
+        if core is None or core.view != message.view:
+            return
+        # Replace the primary and apply the exponential back-off penalty:
+        # the instance is ignored for 2^k rounds after its k-th replacement.
+        self._backoff_rounds[message.instance] += 1
+        penalty = 2 ** self._backoff_rounds[message.instance]
+        self._backoff_until_sequence[message.instance] = core.last_decided_sequence + penalty
+        core.request_view_change(core.view + 1)
+
+    def backoff_penalty(self, instance_id: int) -> int:
+        """Rounds the instance is currently penalised for (0 when healthy)."""
+        return max(0, self._backoff_until_sequence[instance_id] - self.cores[instance_id].last_decided_sequence)
+
+    # ------------------------------------------------------------------
+
+    def instance_views(self) -> Dict[int, int]:
+        """Current view of each instance."""
+        return {instance_id: core.view for instance_id, core in self.cores.items()}
+
+
+__all__ = ["RccReplica"]

@@ -1,0 +1,40 @@
+"""Deterministic discrete-event simulation substrate.
+
+The simulator replaces the cloud testbed used by the paper.  It models the
+three resources that dominate consensus performance in the evaluation:
+
+* message latency between replicas (including multi-region latency),
+* link/NIC bandwidth at each replica, and
+* per-replica CPU time spent on cryptography and message handling.
+
+Protocol replicas are written as :class:`~repro.sim.actor.Actor` subclasses
+that exchange messages through a :class:`~repro.sim.network.Network`.  The
+engine itself (:class:`~repro.sim.engine.Simulator`) is a classic calendar
+queue of timestamped events and is fully deterministic for a given seed.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.actor import Actor, Timer
+from repro.sim.network import LinkSpec, Network, NetworkConfig, Partition, RegionTopology
+from repro.sim.cpu import CpuModel, CpuTask
+from repro.sim.metrics import Counter, Histogram, MetricsRegistry, TimeSeries
+from repro.sim.rng import DeterministicRng
+
+__all__ = [
+    "Actor",
+    "Counter",
+    "CpuModel",
+    "CpuTask",
+    "DeterministicRng",
+    "Event",
+    "Histogram",
+    "LinkSpec",
+    "MetricsRegistry",
+    "Network",
+    "NetworkConfig",
+    "Partition",
+    "RegionTopology",
+    "Simulator",
+    "TimeSeries",
+    "Timer",
+]

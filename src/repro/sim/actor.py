@@ -1,0 +1,126 @@
+"""Actor base class binding protocol logic to the simulator.
+
+Protocol replicas and clients subclass :class:`Actor` and implement
+``on_message``.  The base class provides deterministic timers and convenience
+wrappers for sending through the shared :class:`~repro.sim.network.Network`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.network import Network
+
+
+class Timer:
+    """A cancellable, restartable timer owned by an actor."""
+
+    def __init__(self, simulator: Simulator, name: str, callback: Callable[[], None]) -> None:
+        self._simulator = simulator
+        self.name = name
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self.started_at: Optional[float] = None
+        self.interval: Optional[float] = None
+
+    @property
+    def running(self) -> bool:
+        """True while the timer is armed and not yet fired or cancelled."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, interval: float) -> None:
+        """Arm (or re-arm) the timer to fire ``interval`` seconds from now."""
+        self.cancel()
+        self.started_at = self._simulator.now
+        self.interval = interval
+        self._event = self._simulator.schedule(interval, self._fire, label=f"timer:{self.name}")
+
+    def cancel(self) -> None:
+        """Disarm the timer if it is running."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def elapsed(self) -> float:
+        """Seconds since the timer was last started (0.0 if never started)."""
+        if self.started_at is None:
+            return 0.0
+        return self._simulator.now - self.started_at
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class Actor:
+    """A node participating in the simulation.
+
+    Subclasses implement :meth:`on_message`; faults are injected either by
+    the network (drops/partitions) or by wrapping the actor with a behaviour
+    from :mod:`repro.faults`.
+    """
+
+    def __init__(self, node_id: int, simulator: Simulator, network: Network) -> None:
+        self.node_id = node_id
+        self.simulator = simulator
+        self.network = network
+        self._timers: Dict[str, Timer] = {}
+        self.inbound_messages = 0
+        self.outbound_messages = 0
+        network.register(self)
+
+    # -- messaging -------------------------------------------------------
+
+    def deliver(self, sender: int, payload: object) -> None:
+        """Entry point used by the network when a message arrives."""
+        self.inbound_messages += 1
+        self.on_message(sender, payload)
+
+    def on_message(self, sender: int, payload: object) -> None:
+        """Handle a delivered message; overridden by protocol classes."""
+        raise NotImplementedError
+
+    def send(self, receiver: int, payload: object, size_bytes: int) -> bool:
+        """Send one message through the network."""
+        self.outbound_messages += 1
+        return self.network.send(self.node_id, receiver, payload, size_bytes)
+
+    def broadcast(self, receivers: Iterable[int], payload: object, size_bytes: int) -> int:
+        """Send ``payload`` to every receiver in ``receivers``."""
+        receivers = list(receivers)
+        self.outbound_messages += len(receivers)
+        return self.network.broadcast(self.node_id, receivers, payload, size_bytes)
+
+    # -- timers ----------------------------------------------------------
+
+    def timer(self, name: str, callback: Optional[Callable[[], None]] = None) -> Timer:
+        """Get or create the named timer.
+
+        The callback is bound the first time the timer is created; later
+        calls may omit it.
+        """
+        if name not in self._timers:
+            if callback is None:
+                raise KeyError(f"timer {name!r} does not exist and no callback was given")
+            self._timers[name] = Timer(self.simulator, f"{self.node_id}:{name}", callback)
+        return self._timers[name]
+
+    def cancel_all_timers(self) -> None:
+        """Cancel every timer owned by this actor."""
+        for timer in self._timers.values():
+            timer.cancel()
+
+    # -- scheduling ------------------------------------------------------
+
+    def call_later(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule a local callback ``delay`` seconds from now."""
+        return self.simulator.schedule(delay, callback, label=label or f"actor:{self.node_id}")
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.simulator.now
+
+
+__all__ = ["Actor", "Timer"]

@@ -1,0 +1,170 @@
+"""Core discrete-event engine.
+
+The engine is a priority queue of :class:`Event` objects ordered by
+``(time, priority, sequence)``.  The sequence number makes the ordering of
+simultaneous events deterministic, which in turn makes every simulation run
+reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven into an invalid state."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by ``(time, priority, seq)`` so that ties at the same
+    simulated instant are broken first by explicit priority and then by
+    insertion order.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it is popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulated time in seconds.
+    max_events:
+        Safety valve: the run aborts with :class:`SimulationError` if more
+        than this many events are processed, which catches accidental
+        infinite message loops in protocol code.
+    """
+
+    def __init__(self, start_time: float = 0.0, max_events: int = 50_000_000) -> None:
+        self._now = start_time
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+        self._max_events = max_events
+        self._stopped = False
+        self._trace: Optional[Callable[[Event], None]] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled (including cancelled ones)."""
+        return len(self._queue)
+
+    def set_trace(self, hook: Optional[Callable[[Event], None]]) -> None:
+        """Install a hook invoked for every executed event (for debugging)."""
+        self._trace = hook
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(
+            time=self._now + delay,
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        return self.schedule(time - self._now, callback, priority=priority, label=label)
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` loop to stop after this event."""
+        self._stopped = True
+
+    def _pop_next(self) -> Optional[Event]:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or :meth:`stop`.
+
+        Returns the simulated time at which the run ended.  When ``until`` is
+        given, the clock is advanced to ``until`` even if the queue drained
+        earlier, so repeated calls to ``run`` observe a monotone clock.
+        """
+        self._stopped = False
+        while not self._stopped:
+            if self._queue and until is not None and self._queue[0].time > until:
+                break
+            event = self._pop_next()
+            if event is None:
+                break
+            if until is not None and event.time > until:
+                # Put it back: it belongs to a later run window.
+                heapq.heappush(self._queue, event)
+                break
+            if event.time < self._now:
+                raise SimulationError("event queue went backwards in time")
+            self._now = event.time
+            self._processed += 1
+            if self._processed > self._max_events:
+                raise SimulationError(
+                    f"simulation exceeded {self._max_events} events; "
+                    "likely an unbounded message loop"
+                )
+            if self._trace is not None:
+                self._trace(event)
+            event.callback()
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_for(self, duration: float) -> float:
+        """Run for ``duration`` simulated seconds from the current time."""
+        return self.run(until=self._now + duration)
+
+    def drain(self, events: Iterable[Event]) -> None:
+        """Cancel a collection of previously scheduled events."""
+        for event in events:
+            event.cancel()
+
+
+__all__ = ["Event", "SimulationError", "Simulator"]

@@ -1,0 +1,183 @@
+"""Measurement probes used by experiments.
+
+The registry mirrors the measurements reported in the paper: throughput is
+the number of executed transactions per second of simulated time and latency
+is the client-observed time between submitting a transaction and receiving
+f + 1 matching Inform responses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """Monotone event counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the counter."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset the counter to zero."""
+        self.value = 0.0
+
+
+class Histogram:
+    """Collects scalar samples and reports summary statistics."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        """All recorded samples in insertion order."""
+        return tuple(self._samples)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile, ``fraction`` in [0, 1]."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[rank]
+
+    def maximum(self) -> float:
+        """Largest sample (0.0 when empty)."""
+        return max(self._samples) if self._samples else 0.0
+
+    def minimum(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        return min(self._samples) if self._samples else 0.0
+
+    def reset(self) -> None:
+        """Discard all samples."""
+        self._samples.clear()
+
+
+@dataclass
+class TimeSeries:
+    """Samples bucketed by simulated time, e.g. the Figure 12 timeline."""
+
+    name: str
+    bucket_width: float
+    _buckets: Dict[int, float] = field(default_factory=dict)
+
+    def record(self, time: float, amount: float = 1.0) -> None:
+        """Add ``amount`` to the bucket containing ``time``."""
+        index = int(time // self.bucket_width)
+        self._buckets[index] = self._buckets.get(index, 0.0) + amount
+
+    def buckets(self) -> List[Tuple[float, float]]:
+        """Return ``(bucket_start_time, total)`` pairs sorted by time."""
+        return [(index * self.bucket_width, total) for index, total in sorted(self._buckets.items())]
+
+    def rate_series(self) -> List[Tuple[float, float]]:
+        """Return ``(bucket_start_time, per-second rate)`` pairs."""
+        return [(start, total / self.bucket_width) for start, total in self.buckets()]
+
+
+class MetricsRegistry:
+    """Container of named counters, histograms and time series."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def time_series(self, name: str, bucket_width: float = 5.0) -> TimeSeries:
+        """Get or create the time series called ``name``."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name=name, bucket_width=bucket_width)
+        return self._series[name]
+
+    def counters(self) -> Iterable[Counter]:
+        """All registered counters."""
+        return self._counters.values()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dictionary of counter values and histogram means."""
+        values: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            values[name] = counter.value
+        for name, histogram in self._histograms.items():
+            values[f"{name}.mean"] = histogram.mean()
+            values[f"{name}.count"] = float(histogram.count)
+        return values
+
+    def reset(self) -> None:
+        """Reset every registered probe."""
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+        self._series.clear()
+
+
+@dataclass(frozen=True)
+class ThroughputLatencySample:
+    """One measured operating point: throughput (txn/s) and latency (s)."""
+
+    throughput: float
+    latency: float
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(throughput, latency)``."""
+        return (self.throughput, self.latency)
+
+
+def summarize_latency(histogram: Histogram) -> Optional[ThroughputLatencySample]:
+    """Build a throughput/latency sample from a latency histogram.
+
+    Returns ``None`` when the histogram holds no samples (e.g. a stalled
+    protocol), so callers can distinguish "zero throughput" from "no data".
+    """
+    if histogram.count == 0:
+        return None
+    return ThroughputLatencySample(throughput=float(histogram.count), latency=histogram.mean())
+
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "ThroughputLatencySample",
+    "TimeSeries",
+    "summarize_latency",
+]

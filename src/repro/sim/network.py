@@ -1,0 +1,234 @@
+"""Simulated network connecting replicas and clients.
+
+The network models the three effects the paper's evaluation varies:
+
+* **latency** — a base one-way delay per link plus jitter; multi-region
+  topologies (Figure 14(c,d)) give different delays for intra- and
+  inter-region links;
+* **bandwidth** — every node has an outgoing NIC modelled as a FIFO serial
+  link, so the time to put a message on the wire is ``size / bandwidth`` and
+  large fan-outs (a primary broadcasting proposals to 127 backups) serialise
+  at the sender exactly as they do on a real NIC (Figure 14(b));
+* **unreliability** — message loss, node partitions and per-node drop rules
+  used by the fault injectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import DeterministicRng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.actor import Actor
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Latency characteristics of one directed link."""
+
+    delay: float
+    jitter: float = 0.0
+
+    def sample_delay(self, rng: DeterministicRng) -> float:
+        """One-way propagation delay sample for a message on this link."""
+        if self.jitter <= 0.0:
+            return self.delay
+        return max(0.0, self.delay + rng.uniform(-self.jitter, self.jitter))
+
+
+@dataclass
+class RegionTopology:
+    """Assignment of nodes to geographic regions.
+
+    ``intra_delay`` applies between nodes in the same region and
+    ``inter_delay`` between nodes in different regions, mirroring the
+    Oregon / North Virginia / London / Zurich deployment of the paper.
+    """
+
+    regions: int
+    intra_delay: float = 0.0005
+    inter_delay: float = 0.040
+    jitter_fraction: float = 0.1
+
+    def region_of(self, node_id: int) -> int:
+        """Region index of ``node_id`` (uniform round-robin placement)."""
+        return node_id % max(1, self.regions)
+
+    def link(self, sender: int, receiver: int) -> LinkSpec:
+        """Link spec between two nodes under this topology."""
+        if self.region_of(sender) == self.region_of(receiver):
+            delay = self.intra_delay
+        else:
+            delay = self.inter_delay
+        return LinkSpec(delay=delay, jitter=delay * self.jitter_fraction)
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable parameters of the simulated network."""
+
+    base_delay: float = 0.001
+    jitter: float = 0.0002
+    bandwidth_bytes_per_sec: float = 1_000e6 / 8
+    loss_rate: float = 0.0
+    topology: Optional[RegionTopology] = None
+
+    def link(self, sender: int, receiver: int) -> LinkSpec:
+        """Resolve the link spec for a sender/receiver pair."""
+        if self.topology is not None:
+            return self.topology.link(sender, receiver)
+        return LinkSpec(delay=self.base_delay, jitter=self.jitter)
+
+
+@dataclass
+class Partition:
+    """A network partition: nodes in different groups cannot communicate."""
+
+    groups: Tuple[frozenset, ...]
+
+    def allows(self, sender: int, receiver: int) -> bool:
+        """True when ``sender`` can reach ``receiver`` under this partition."""
+        for group in self.groups:
+            if sender in group:
+                return receiver in group
+        return True
+
+
+DropRule = Callable[[int, int, object], bool]
+
+
+class Network:
+    """Message fabric between registered actors.
+
+    Actors are registered under integer node identifiers.  ``send`` computes
+    a delivery time from NIC serialisation plus link propagation and then
+    schedules the receiver's ``deliver`` callback on the shared simulator.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: Optional[NetworkConfig] = None,
+        rng: Optional[DeterministicRng] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.config = config or NetworkConfig()
+        self.rng = (rng or DeterministicRng(0)).fork("network")
+        self.metrics = metrics or MetricsRegistry()
+        self._actors: Dict[int, "Actor"] = {}
+        self._nic_free_at: Dict[int, float] = {}
+        self._partition: Optional[Partition] = None
+        self._drop_rules: list[DropRule] = []
+        self._down_nodes: Set[int] = set()
+
+    # -- membership -----------------------------------------------------
+
+    def register(self, actor: "Actor") -> None:
+        """Register an actor so it can receive messages."""
+        if actor.node_id in self._actors:
+            raise ValueError(f"node id {actor.node_id} already registered")
+        self._actors[actor.node_id] = actor
+        self._nic_free_at.setdefault(actor.node_id, 0.0)
+
+    def actor(self, node_id: int) -> "Actor":
+        """Look up the actor registered under ``node_id``."""
+        return self._actors[node_id]
+
+    def node_ids(self) -> Iterable[int]:
+        """All registered node identifiers."""
+        return self._actors.keys()
+
+    # -- fault surface ---------------------------------------------------
+
+    def set_partition(self, partition: Optional[Partition]) -> None:
+        """Install (or clear) a network partition."""
+        self._partition = partition
+
+    def add_drop_rule(self, rule: DropRule) -> None:
+        """Install a rule that can drop messages (sender, receiver, payload)."""
+        self._drop_rules.append(rule)
+
+    def clear_drop_rules(self) -> None:
+        """Remove all installed drop rules."""
+        self._drop_rules.clear()
+
+    def set_node_down(self, node_id: int, down: bool = True) -> None:
+        """Mark a node as crashed: it neither sends nor receives."""
+        if down:
+            self._down_nodes.add(node_id)
+        else:
+            self._down_nodes.discard(node_id)
+
+    def is_down(self, node_id: int) -> bool:
+        """True when the node has been marked as crashed."""
+        return node_id in self._down_nodes
+
+    # -- transmission ----------------------------------------------------
+
+    def _should_drop(self, sender: int, receiver: int, payload: object) -> bool:
+        if sender in self._down_nodes or receiver in self._down_nodes:
+            return True
+        if self._partition is not None and not self._partition.allows(sender, receiver):
+            return True
+        if self.config.loss_rate > 0.0 and self.rng.random() < self.config.loss_rate:
+            return True
+        return any(rule(sender, receiver, payload) for rule in self._drop_rules)
+
+    def send(self, sender: int, receiver: int, payload: object, size_bytes: int) -> bool:
+        """Send ``payload`` from ``sender`` to ``receiver``.
+
+        Returns True when the message was put on the wire and False when it
+        was dropped (crash, partition, loss or drop rule).  A dropped message
+        still consumes sender NIC time if the drop happens in the network
+        (loss), but not when the sender itself is down.
+        """
+        if sender in self._down_nodes:
+            return False
+        self.metrics.counter("network.messages_sent").increment()
+        self.metrics.counter("network.bytes_sent").increment(size_bytes)
+
+        # NIC serialisation at the sender: messages leave one after another.
+        now = self.simulator.now
+        nic_free = max(self._nic_free_at.get(sender, 0.0), now)
+        transmit_time = size_bytes / self.config.bandwidth_bytes_per_sec
+        departure = nic_free + transmit_time
+        self._nic_free_at[sender] = departure
+
+        if self._should_drop(sender, receiver, payload):
+            self.metrics.counter("network.messages_dropped").increment()
+            return False
+
+        link = self.config.link(sender, receiver)
+        delivery_delay = (departure - now) + link.sample_delay(self.rng)
+        self.simulator.schedule(
+            delivery_delay,
+            lambda: self._deliver(sender, receiver, payload),
+            label=f"deliver:{sender}->{receiver}",
+        )
+        return True
+
+    def broadcast(self, sender: int, receivers: Iterable[int], payload: object, size_bytes: int) -> int:
+        """Send ``payload`` to each receiver; returns how many were sent."""
+        sent = 0
+        for receiver in receivers:
+            if self.send(sender, receiver, payload, size_bytes):
+                sent += 1
+        return sent
+
+    def _deliver(self, sender: int, receiver: int, payload: object) -> None:
+        if receiver in self._down_nodes:
+            self.metrics.counter("network.messages_dropped").increment()
+            return
+        actor = self._actors.get(receiver)
+        if actor is None:
+            return
+        self.metrics.counter("network.messages_delivered").increment()
+        actor.deliver(sender, payload)
+
+
+__all__ = ["DropRule", "LinkSpec", "Network", "NetworkConfig", "Partition", "RegionTopology"]

@@ -1,0 +1,23 @@
+"""Workload generation: YCSB-style transactions, clients and arrival processes.
+
+The paper drives every experiment with the Yahoo Cloud Serving Benchmark as
+packaged by Blockbench: a table of half a million records where 90 % of the
+transactions write/modify records.  This package provides the same workload
+shape, plus the client behaviour of Section 5 (submit to one replica, wait
+for f + 1 matching Informs, fail over with a doubled timeout).
+"""
+
+from repro.workload.requests import ClientRequest, Operation, Transaction
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+from repro.workload.arrival import ArrivalProcess, ClosedLoopLoad, OpenLoopLoad
+
+__all__ = [
+    "ArrivalProcess",
+    "ClientRequest",
+    "ClosedLoopLoad",
+    "OpenLoopLoad",
+    "Operation",
+    "Transaction",
+    "YcsbConfig",
+    "YcsbWorkload",
+]

@@ -1,0 +1,78 @@
+"""Client load models.
+
+The throughput-latency experiments (Figures 7(c), 9 and 10) vary "the speed
+by which each primary receives client requests" — an open-loop arrival rate —
+while the remaining experiments saturate the system with a closed loop of
+clients that always have the next request ready.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.sim.rng import DeterministicRng
+
+
+class ArrivalProcess:
+    """Base class for inter-arrival time generators."""
+
+    def inter_arrival(self) -> float:
+        """Seconds until the next request arrives."""
+        raise NotImplementedError
+
+    def arrivals(self, horizon: float) -> Iterator[float]:
+        """Arrival times up to ``horizon`` seconds."""
+        time = 0.0
+        while True:
+            time += self.inter_arrival()
+            if time > horizon:
+                return
+            yield time
+
+
+@dataclass
+class OpenLoopLoad(ArrivalProcess):
+    """Poisson arrivals at a fixed offered rate (requests per second)."""
+
+    rate_per_second: float
+    rng: Optional[DeterministicRng] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_per_second <= 0:
+            raise ValueError("rate must be positive")
+        self.rng = (self.rng or DeterministicRng(11)).fork("open-loop")
+
+    def inter_arrival(self) -> float:
+        """Exponential inter-arrival sample."""
+        return self.rng.expovariate(self.rate_per_second)
+
+
+@dataclass
+class ClosedLoopLoad(ArrivalProcess):
+    """A fixed population of clients, each issuing the next request on reply.
+
+    ``think_time`` models any client-side delay between receiving a reply and
+    issuing the next request (zero for the saturating workloads of the
+    paper).
+    """
+
+    clients: int
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("need at least one client")
+        if self.think_time < 0:
+            raise ValueError("think_time cannot be negative")
+
+    def inter_arrival(self) -> float:
+        """Arrival spacing when all clients fire independently."""
+        return self.think_time / self.clients if self.clients else self.think_time
+
+    def offered_concurrency(self) -> int:
+        """Number of requests that can be outstanding simultaneously."""
+        return self.clients
+
+
+__all__ = ["ArrivalProcess", "ClosedLoopLoad", "OpenLoopLoad"]

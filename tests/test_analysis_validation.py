@@ -1,0 +1,86 @@
+"""Tests for the model-versus-simulator cross-validation module."""
+
+import pytest
+
+from repro.analysis.validation import (
+    ValidationPoint,
+    cross_validate_protocols,
+    failure_direction_check,
+    rank_agreement,
+    validation_report,
+)
+
+
+# ---------------------------------------------------------------------------
+# rank agreement helper
+# ---------------------------------------------------------------------------
+
+
+def test_rank_agreement_is_one_for_identical_rankings():
+    first = {"a": 3.0, "b": 2.0, "c": 1.0}
+    second = {"a": 30.0, "b": 20.0, "c": 10.0}
+    assert rank_agreement(first, second) == 1.0
+
+
+def test_rank_agreement_is_zero_for_fully_reversed_rankings():
+    first = {"a": 3.0, "b": 2.0, "c": 1.0}
+    second = {"a": 1.0, "b": 2.0, "c": 3.0}
+    assert rank_agreement(first, second) == 0.0
+
+
+def test_rank_agreement_counts_partially_agreeing_pairs():
+    first = {"a": 3.0, "b": 2.0, "c": 1.0}
+    second = {"a": 3.0, "b": 1.0, "c": 2.0}  # only the b/c pair is swapped
+    assert rank_agreement(first, second) == pytest.approx(2 / 3)
+
+
+def test_rank_agreement_handles_disjoint_or_single_inputs():
+    assert rank_agreement({"a": 1.0}, {"a": 5.0}) == 1.0
+    assert rank_agreement({}, {}) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# cross-validation runs
+# ---------------------------------------------------------------------------
+
+
+def test_cross_validation_produces_one_point_per_protocol():
+    points = cross_validate_protocols(
+        protocols=("spotless", "hotstuff"), num_replicas=4, duration=0.4, batch_size=5
+    )
+    assert [point.protocol for point in points] == ["spotless", "hotstuff"]
+    for point in points:
+        assert point.simulated_throughput > 0
+        assert point.predicted_throughput > 0
+        row = point.as_row()
+        assert set(row) == {"protocol", "replicas", "simulated_txn_s", "model_txn_s"}
+
+
+def test_model_and_simulator_agree_that_spotless_beats_hotstuff():
+    points = cross_validate_protocols(
+        protocols=("spotless", "hotstuff"), num_replicas=4, duration=0.6, batch_size=5
+    )
+    report = validation_report(points)
+    assert report["rank_agreement"] == 1.0
+    assert report["simulated_ranking"][-1] == "hotstuff"
+    assert report["model_ranking"][-1] == "hotstuff"
+
+
+def test_validation_report_lists_all_rows():
+    points = [
+        ValidationPoint(protocol="spotless", num_replicas=4, simulated_throughput=10.0, predicted_throughput=20.0),
+        ValidationPoint(protocol="pbft", num_replicas=4, simulated_throughput=12.0, predicted_throughput=25.0),
+    ]
+    report = validation_report(points)
+    assert len(report["rows"]) == 2
+    assert report["simulated_ranking"] == ["pbft", "spotless"]
+    assert report["model_ranking"] == ["pbft", "spotless"]
+    assert report["rank_agreement"] == 1.0
+
+
+def test_failures_reduce_throughput_in_both_model_and_simulator():
+    outcome = failure_direction_check(num_replicas=4, duration=0.6, faulty=1)
+    assert outcome["simulator_direction_ok"]
+    assert outcome["model_direction_ok"]
+    assert outcome["simulated_degraded"] <= outcome["simulated_healthy"]
+    assert outcome["model_degraded"] <= outcome["model_healthy"]

@@ -1,0 +1,119 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+# ---------------------------------------------------------------------------
+# parser structure
+# ---------------------------------------------------------------------------
+
+
+def test_parser_knows_all_subcommands():
+    parser = cli.build_parser()
+    for command in ("list", "complexity", "figure", "ablation", "cluster", "validate"):
+        args = parser.parse_args([command] if command not in ("figure", "ablation") else [command, "x"])
+        assert args.command == command
+
+
+def test_main_without_a_command_prints_help_and_fails(capsys):
+    assert cli.main([]) == 1
+    assert "usage" in capsys.readouterr().out.lower()
+
+
+def test_every_figure_of_the_evaluation_has_a_cli_entry():
+    expected = {
+        "fig7a-scalability",
+        "fig7b-batching",
+        "fig7c-throughput-latency",
+        "fig7d-transaction-size",
+        "fig7e-failures",
+        "fig7f-failure-ratio",
+        "fig8-spotless-failures",
+        "fig9-latency-failures",
+        "fig10-parallelism",
+        "fig11-byzantine",
+        "fig12-timeline",
+        "fig13-instances",
+        "fig14a-cpu",
+        "fig14b-bandwidth",
+        "fig14cd-regions",
+        "fig15-single-instance",
+    }
+    assert expected == set(cli.FIGURES)
+
+
+def test_every_design_choice_ablation_has_a_cli_entry():
+    assert {"commit-rule", "view-sync", "timeouts", "assignment", "fast-path"} == set(cli.ABLATIONS)
+
+
+# ---------------------------------------------------------------------------
+# command execution
+# ---------------------------------------------------------------------------
+
+
+def test_list_prints_every_figure_and_ablation(capsys):
+    assert cli.main(["list"]) == 0
+    output = capsys.readouterr().out
+    for name in cli.FIGURES:
+        assert name in output
+    for name in cli.ABLATIONS:
+        assert name in output
+
+
+def test_complexity_prints_the_figure_1_table(capsys):
+    assert cli.main(["complexity"]) == 0
+    output = capsys.readouterr().out
+    for protocol in ("SpotLess", "Pbft", "RCC", "HotStuff"):
+        assert protocol in output
+
+
+def test_figure_command_prints_the_scalability_series(capsys):
+    assert cli.main(["figure", "fig7a-scalability", "--replicas", "4", "16"]) == 0
+    output = capsys.readouterr().out
+    assert "spotless" in output
+    assert "throughput_txn_s" in output
+
+
+def test_unknown_figure_name_fails_with_exit_code_2(capsys):
+    assert cli.main(["figure", "fig99-unknown"]) == 2
+    assert "unknown name" in capsys.readouterr().err
+
+
+def test_ablation_command_prints_the_commit_rule_table(capsys):
+    assert cli.main(["ablation", "commit-rule"]) == 0
+    output = capsys.readouterr().out
+    assert "two-view" in output and "three-view" in output
+
+
+def test_unknown_ablation_name_fails_with_exit_code_2(capsys):
+    assert cli.main(["ablation", "no-such-ablation"]) == 2
+    assert "unknown name" in capsys.readouterr().err
+
+
+def test_cluster_command_runs_a_small_deployment_and_checks_divergence(capsys):
+    exit_code = cli.main(
+        [
+            "cluster",
+            "--protocol",
+            "spotless",
+            "--replicas",
+            "4",
+            "--batch-size",
+            "5",
+            "--duration",
+            "0.4",
+        ]
+    )
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "non-divergence check: ok" in output
+    assert "txn/s" in output
+
+
+def test_validate_command_reports_rankings(capsys):
+    assert cli.main(["validate", "--replicas", "4", "--duration", "0.3"]) == 0
+    output = capsys.readouterr().out
+    assert "simulator ranking" in output
+    assert "pairwise rank agreement" in output

@@ -1,0 +1,364 @@
+"""Unit tests for a single SpotLess chained consensus instance.
+
+The tests drive a small group of :class:`SpotLessInstance` state machines
+through a manual harness (no simulator, no network): broadcasts are queued
+and delivered explicitly, and timers fire only when the test says so.  This
+exercises the normal-case protocol, the acceptance rules, Ask-recovery and
+Rapid View Synchronization in isolation.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.core.chain import ProposalStatus
+from repro.core.config import SpotLessConfig
+from repro.core.instance import InstanceEnvironment, SpotLessInstance, ViewState
+from repro.core.messages import AskMessage, ProposalForward, ProposeMessage, SyncMessage
+
+
+class ManualTimer:
+    """Timer handle recorded by the harness; fired explicitly by tests."""
+
+    def __init__(self, name, delay, callback):
+        self.name = name
+        self.delay = delay
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+    def fire(self):
+        if not self.cancelled:
+            self.callback()
+
+
+class Harness:
+    """Connects a group of SpotLess instances through manual message queues."""
+
+    def __init__(self, num_replicas=4, instance_id=0, **config_kwargs):
+        self.config = SpotLessConfig(num_replicas=num_replicas, num_instances=1, **config_kwargs)
+        self.queues: List[Tuple[int, Optional[int], object]] = []
+        self.commits: Dict[int, List] = {r: [] for r in range(num_replicas)}
+        self.batches: Dict[int, List[Tuple[bytes, ...]]] = {r: [] for r in range(num_replicas)}
+        self.timers: Dict[int, List[ManualTimer]] = {r: [] for r in range(num_replicas)}
+        self.time = 0.0
+        self.instances: Dict[int, SpotLessInstance] = {}
+        for replica in range(num_replicas):
+            self.instances[replica] = SpotLessInstance(
+                instance_id=instance_id,
+                config=self.config,
+                environment=self._environment(replica),
+            )
+
+    def _environment(self, replica):
+        def next_batch(instance, view):
+            queued = self.batches[replica]
+            if queued:
+                return queued.pop(0)
+            return (bytes([replica]) + view.to_bytes(4, "big"),)
+
+        def set_timer(name, delay, callback):
+            timer = ManualTimer(name, delay, callback)
+            self.timers[replica].append(timer)
+            return timer
+
+        return InstanceEnvironment(
+            replica_id=replica,
+            broadcast=lambda message, _r=replica: self.queues.append((_r, None, message)),
+            send=lambda receiver, message, _r=replica: self.queues.append((_r, receiver, message)),
+            set_timer=set_timer,
+            cancel_timer=lambda handle: handle.cancel(),
+            next_batch=next_batch,
+            on_commit=lambda instance, proposal, _r=replica: self.commits[_r].append(proposal),
+            now=lambda: self.time,
+        )
+
+    # -- delivery --------------------------------------------------------
+
+    def _dispatch(self, sender, receiver, message):
+        instance = self.instances[receiver]
+        if isinstance(message, ProposeMessage):
+            instance.on_propose(sender, message)
+        elif isinstance(message, SyncMessage):
+            instance.on_sync(sender, message)
+        elif isinstance(message, AskMessage):
+            instance.on_ask(sender, message)
+        elif isinstance(message, ProposalForward):
+            instance.on_forward(sender, message)
+
+    def deliver_all(self, drop=None, max_rounds=200):
+        """Deliver queued messages until quiescent.
+
+        ``drop(sender, receiver, message)`` may return True to drop a message
+        (used to simulate unreliable links and Byzantine withholding).
+        """
+        rounds = 0
+        while self.queues and rounds < max_rounds:
+            rounds += 1
+            batch, self.queues = self.queues, []
+            for sender, receiver, message in batch:
+                receivers = [receiver] if receiver is not None else list(self.instances)
+                for target in receivers:
+                    if drop is not None and drop(sender, target, message):
+                        continue
+                    self._dispatch(sender, target, message)
+
+    def start(self, replicas=None):
+        for replica in replicas if replicas is not None else list(self.instances):
+            self.instances[replica].start()
+
+    def fire_timers(self, replica=None):
+        """Fire every armed (non-cancelled) timer once."""
+        replicas = [replica] if replica is not None else list(self.instances)
+        for target in replicas:
+            pending, self.timers[target] = self.timers[target], []
+            for timer in pending:
+                timer.fire()
+
+
+# ---------------------------------------------------------------------------
+# normal case
+# ---------------------------------------------------------------------------
+
+
+def test_primary_of_view_rotates_per_instance():
+    config = SpotLessConfig(num_replicas=4)
+    assert config.primary_of(0, 0) == 0
+    assert config.primary_of(0, 1) == 1
+    assert config.primary_of(3, 1) == 0
+    assert config.primary_of(2, 6) == 0
+
+
+def test_view_zero_proposal_is_accepted_and_conditionally_prepared():
+    harness = Harness()
+    harness.start()
+    harness.deliver_all()
+    for instance in harness.instances.values():
+        proposal = instance.store.conditionally_prepared_in_view(0)
+        assert proposal is not None
+        assert proposal.status >= ProposalStatus.CONDITIONALLY_PREPARED
+        assert instance.current_view >= 1
+
+
+def test_three_views_commit_the_first_proposal_everywhere():
+    harness = Harness()
+    harness.start()
+    for _ in range(6):
+        harness.deliver_all()
+    for replica, commits in harness.commits.items():
+        assert commits, f"replica {replica} committed nothing"
+        assert commits[0].view == 0
+    digests = {commits[0].digest for commits in harness.commits.values()}
+    assert len(digests) == 1
+
+
+def test_committed_chains_are_consistent_across_replicas():
+    harness = Harness()
+    harness.start()
+    for _ in range(12):
+        harness.deliver_all()
+    sequences = [
+        [proposal.digest for proposal in harness.commits[replica]] for replica in harness.instances
+    ]
+    shortest = min(len(seq) for seq in sequences)
+    assert shortest >= 2
+    for sequence in sequences:
+        assert sequence[:shortest] == sequences[0][:shortest]
+
+
+def test_views_advance_without_timeouts_in_failure_free_runs():
+    harness = Harness()
+    harness.start()
+    for _ in range(8):
+        harness.deliver_all()
+    assert all(instance.timeouts == 0 for instance in harness.instances.values())
+    assert all(instance.current_view >= 3 for instance in harness.instances.values())
+
+
+def test_sync_message_carries_cp_set_at_or_above_lock():
+    harness = Harness()
+    harness.start()
+    for _ in range(6):
+        harness.deliver_all()
+    instance = harness.instances[0]
+    cp_entries = instance.store.cp_set()
+    assert cp_entries
+    assert all(entry.view >= instance.store.lock.view for entry in cp_entries)
+
+
+def test_duplicate_sync_messages_do_not_double_count():
+    from repro.core.messages import Claim
+
+    harness = Harness()
+    harness.start()
+    harness.deliver_all()
+    instance = harness.instances[0]
+    senders_before = instance.sync_senders(0)
+    # Replay a stale failure-claim Sync for view 0 from a sender already counted.
+    replay = SyncMessage(instance=0, view=0, claim=Claim.failure(0))
+    instance.on_sync(senders_before[0], replay)
+    assert instance.sync_senders(0) == senders_before
+
+
+# ---------------------------------------------------------------------------
+# failure handling: silent primary, echo rule, Ask-recovery, view skip
+# ---------------------------------------------------------------------------
+
+
+def test_silent_primary_leads_to_failure_claims_and_view_advance():
+    harness = Harness()
+    # Replica 0 is the primary of view 0; do not start it.
+    harness.start(replicas=[1, 2, 3])
+    harness.deliver_all()
+    # Backups are still waiting in Recording; fire their t_R timers.
+    harness.fire_timers()
+    harness.deliver_all()
+    harness.fire_timers()
+    harness.deliver_all()
+    for replica in (1, 2, 3):
+        instance = harness.instances[replica]
+        assert instance.current_view >= 1
+        assert instance.timeouts >= 1
+
+
+def test_progress_resumes_after_faulty_view():
+    harness = Harness()
+    harness.start(replicas=[1, 2, 3])
+    for _ in range(3):
+        harness.fire_timers()
+        harness.deliver_all()
+    # View 1's primary is replica 1, which is alive: the chain should extend
+    # from genesis and eventually commit once three consecutive good views pass.
+    for _ in range(10):
+        harness.deliver_all()
+        harness.fire_timers()
+        harness.deliver_all()
+    alive_commits = [harness.commits[replica] for replica in (1, 2, 3)]
+    assert any(commits for commits in alive_commits)
+
+
+def test_echo_rule_and_ask_recovery_fetch_missing_proposal():
+    harness = Harness()
+    harness.start(replicas=[0, 1, 2])
+    # Drop the primary's proposal towards replica 3 only (attack A2 victim).
+    harness.instances[3].start()
+
+    def drop(sender, receiver, message):
+        return isinstance(message, ProposeMessage) and receiver == 3
+
+    harness.deliver_all(drop=drop)
+    harness.deliver_all(drop=drop)
+    victim = harness.instances[3]
+    proposal = victim.store.conditionally_prepared_in_view(0)
+    assert proposal is not None
+    # The victim learned the proposal through f+1 Sync messages and recovered
+    # the payload through Ask (or it will have asked for it).
+    assert victim.asks_sent >= 1 or proposal.has_payload()
+
+
+def test_ask_messages_answered_with_proposal_forward():
+    harness = Harness()
+    harness.start()
+    harness.deliver_all()
+    source = harness.instances[0]
+    proposal = source.store.conditionally_prepared_in_view(0)
+    # Direct query: replica 0 should reply to an Ask for its recorded proposal.
+    source.on_ask(2, AskMessage(instance=0, view=0, claim=make_claim(proposal)))
+    forwarded = [msg for sender, receiver, msg in harness.queues if isinstance(msg, ProposalForward)]
+    assert forwarded and forwarded[-1].propose.view == 0
+
+
+def make_claim(proposal):
+    from repro.core.messages import Claim
+
+    return Claim(view=proposal.view, digest=proposal.digest)
+
+
+def test_rapid_view_synchronization_skips_to_higher_view():
+    harness = Harness()
+    harness.start()
+    lagging = harness.instances[3]
+    current = lagging.current_view
+    higher = current + 5
+    # f + 1 = 2 replicas report Sync messages from a much higher view.
+    from repro.core.messages import Claim
+
+    for sender in (0, 1):
+        lagging.on_sync(sender, SyncMessage(instance=0, view=higher, claim=Claim.failure(higher)))
+    assert lagging.current_view == higher
+    assert lagging.view_skips >= 1
+
+
+def test_single_higher_view_report_does_not_skip():
+    harness = Harness()
+    harness.start()
+    lagging = harness.instances[3]
+    from repro.core.messages import Claim
+
+    lagging.on_sync(0, SyncMessage(instance=0, view=50, claim=Claim.failure(50)))
+    assert lagging.current_view < 50
+
+
+def test_retransmit_flag_triggers_resend_of_own_sync():
+    harness = Harness()
+    harness.start()
+    harness.deliver_all()
+    replica0 = harness.instances[0]
+    harness.queues.clear()
+    from repro.core.messages import Claim
+
+    request = SyncMessage(instance=0, view=0, claim=Claim.failure(0), retransmit_flag=True)
+    replica0.on_sync(3, request)
+    directed = [(s, r, m) for s, r, m in harness.queues if r == 3 and isinstance(m, SyncMessage)]
+    assert directed, "replica 0 should retransmit its view-0 Sync to the requester"
+
+
+def test_proposal_from_wrong_primary_is_ignored():
+    harness = Harness()
+    harness.start()
+    harness.deliver_all()
+    instance = harness.instances[2]
+    view = instance.current_view
+    wrong_sender = (instance.primary_of_view(view) + 1) % 4
+    bogus = ProposeMessage(
+        instance=0,
+        view=view,
+        transaction_digests=(b"evil",),
+        parent_digest=instance.store.lock.digest,
+        parent_view=instance.store.lock.view,
+    )
+    synced_before = view in instance._synced_views
+    instance.on_propose(wrong_sender, bogus)
+    if not synced_before:
+        assert view not in instance._synced_views
+
+
+def test_instance_ignores_messages_for_other_instances():
+    harness = Harness()
+    harness.start()
+    instance = harness.instances[0]
+    views_before = instance.views_entered
+    from repro.core.messages import Claim
+
+    instance.on_sync(1, SyncMessage(instance=7, view=3, claim=Claim.failure(3)))
+    instance.on_propose(
+        1,
+        ProposeMessage(
+            instance=7,
+            view=0,
+            transaction_digests=(),
+            parent_digest=instance.store.lock.digest,
+            parent_view=-1,
+        ),
+    )
+    assert instance.views_entered == views_before
+
+
+def test_adaptive_timers_expose_current_intervals():
+    harness = Harness()
+    harness.start()
+    instance = harness.instances[0]
+    assert instance.recording_timeout_interval() > 0
+    assert instance.certifying_timeout_interval() > 0

@@ -1,0 +1,271 @@
+"""Integration tests for the concurrent SpotLess replica, clients and safety.
+
+These tests run small message-level simulations (n = 4..7) and check the
+concurrent-consensus architecture of Section 4/5: request-to-instance
+assignment, the (view, instance) total order, no-op filling, client Informs,
+and the paper's safety guarantees (including the Example 3.6 scenario that
+motivates the three-consecutive-view commit rule).
+"""
+
+import pytest
+
+from repro.bench.cluster import SimulatedCluster
+from repro.core.chain import GENESIS_PROPOSAL_ID, ProposalStatus, ProposalStore
+from repro.core.config import SpotLessConfig
+from repro.core.messages import ProposeMessage
+from repro.faults.injector import FaultInjector
+from repro.sim.network import NetworkConfig
+from repro.workload.requests import Operation, Transaction
+
+
+def small_cluster(num_replicas=4, clients=3, outstanding=4, seed=1, **config_kwargs):
+    config = SpotLessConfig(num_replicas=num_replicas, **config_kwargs)
+    return SimulatedCluster.spotless(
+        config, clients=clients, outstanding_per_client=outstanding, seed=seed
+    )
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+
+def test_config_quorums_and_validation():
+    config = SpotLessConfig(num_replicas=7)
+    assert config.f == 2
+    assert config.quorum == 5
+    assert config.weak_quorum == 3
+    with pytest.raises(ValueError):
+        SpotLessConfig(num_replicas=3)
+    with pytest.raises(ValueError):
+        SpotLessConfig(num_replicas=4, num_instances=9)
+
+
+def test_config_defaults_to_n_instances():
+    config = SpotLessConfig(num_replicas=5)
+    assert config.num_instances == 5
+    assert config.with_instances(2).num_instances == 2
+
+
+# ---------------------------------------------------------------------------
+# liveness and consistency in the failure-free case
+# ---------------------------------------------------------------------------
+
+
+def test_cluster_confirms_transactions_and_stays_consistent():
+    cluster = small_cluster()
+    result = cluster.run(duration=1.2)
+    cluster.assert_no_divergence()
+    assert result.confirmed_transactions > 20
+    assert result.mean_latency < 0.5
+    assert all(replica.ledger.verify_chain() for replica in cluster.replicas)
+
+
+def test_seven_replica_cluster_with_default_instances():
+    cluster = small_cluster(num_replicas=7, clients=4, outstanding=6)
+    result = cluster.run(duration=0.6)
+    cluster.assert_no_divergence()
+    assert result.confirmed_transactions > 20
+
+
+def test_fewer_instances_than_replicas_still_commits():
+    cluster = small_cluster(num_instances=2)
+    result = cluster.run(duration=1.5)
+    cluster.assert_no_divergence()
+    assert result.confirmed_transactions > 10
+
+
+def test_total_order_sorted_by_view_then_instance():
+    cluster = small_cluster()
+    cluster.run(duration=1.0)
+    replica = cluster.replicas[0]
+    order = replica.total_order()
+    keys = [record.order_key() for record in order]
+    assert keys == sorted(keys)
+
+
+def test_requests_routed_to_instance_matching_digest():
+    cluster = small_cluster()
+    replica = cluster.replicas[0]
+    transaction = Transaction(client_id=9, sequence=1, operations=(Operation.read(5),))
+    replica.submit_transaction(transaction)
+    expected = transaction.instance_assignment(replica.config.num_instances)
+    assert transaction.digest() in replica._pending[expected]
+
+
+def test_duplicate_submission_is_ignored():
+    cluster = small_cluster()
+    replica = cluster.replicas[0]
+    transaction = Transaction(client_id=9, sequence=1, operations=(Operation.read(5),))
+    replica.submit_transaction(transaction)
+    replica.submit_transaction(transaction)
+    instance = transaction.instance_assignment(replica.config.num_instances)
+    assert replica._pending[instance].count(transaction.digest()) == 1
+
+
+def test_idle_instances_propose_reconstructible_noops():
+    cluster = small_cluster(clients=0)
+    cluster.start()
+    cluster.simulator.run_for(0.5)
+    replica = cluster.replicas[0]
+    # Without client load the committed batches are no-ops, yet all replicas
+    # execute the same ledger.
+    assert replica.ledger.height > 0
+    cluster.assert_no_divergence()
+
+
+def test_replica_state_digests_match_at_equal_ledger_heights():
+    cluster = small_cluster()
+    cluster.run(duration=1.0)
+    by_height = {}
+    for replica in cluster.replicas:
+        by_height.setdefault(len(replica.ledger), []).append(replica.state_digest())
+    for digests in by_height.values():
+        assert len(set(digests)) == 1
+
+
+def test_client_failover_retransmits_after_timeout():
+    cluster = small_cluster()
+    client = cluster.clients[0]
+    client.request_timeout = 0.05
+    cluster.start()
+    # Crash enough replicas to stall everything, forcing client retries.
+    for replica_id in (0, 1, 2):
+        cluster.network.set_node_down(replica_id)
+    cluster.simulator.run_for(0.5)
+    assert client.retransmissions > 0
+
+
+# ---------------------------------------------------------------------------
+# behaviour under crash faults and partitions
+# ---------------------------------------------------------------------------
+
+
+def test_progress_with_one_crashed_replica():
+    cluster = small_cluster(num_replicas=4, clients=3, recording_timeout=0.03, certifying_timeout=0.03)
+    injector = FaultInjector(cluster)
+    injector.crash_replicas([3], at=0.0)
+    result = cluster.run(duration=1.5)
+    cluster.assert_no_divergence()
+    assert result.confirmed_transactions > 5
+
+
+def test_crash_mid_run_keeps_consistency_and_reduces_throughput():
+    cluster = small_cluster(num_replicas=4, clients=4, outstanding=6)
+    injector = FaultInjector(cluster)
+    injector.crash_replicas([2], at=0.5)
+    cluster.start()
+    cluster.simulator.run_for(0.5)
+    healthy_confirmed = sum(c.confirmed_transactions for c in cluster.clients)
+    cluster.simulator.run_for(1.5)
+    cluster.assert_no_divergence()
+    total_confirmed = sum(c.confirmed_transactions for c in cluster.clients)
+    assert total_confirmed >= healthy_confirmed
+
+
+def test_partition_heals_and_progress_resumes():
+    cluster = small_cluster(num_replicas=4, clients=3, recording_timeout=0.03, certifying_timeout=0.03)
+    injector = FaultInjector(cluster)
+    injector.partition([[0, 1], [2, 3]], at=0.2, until=0.6)
+    cluster.start()
+    cluster.simulator.run_for(2.0)
+    cluster.assert_no_divergence()
+    confirmed = sum(c.confirmed_transactions for c in cluster.clients)
+    assert confirmed > 5
+
+
+def test_safety_holds_even_when_liveness_is_lost():
+    # Crash f+1 replicas: no quorum is possible, so nothing new commits, but
+    # what was committed stays consistent.
+    cluster = small_cluster(num_replicas=4, clients=3)
+    cluster.start()
+    cluster.simulator.run_for(0.3)
+    for replica_id in (2, 3):
+        cluster.network.set_node_down(replica_id)
+    committed_before = [len(r.commit_log) for r in cluster.replicas[:2]]
+    cluster.simulator.run_for(0.5)
+    cluster.assert_no_divergence()
+    committed_after = [len(r.commit_log) for r in cluster.replicas[:2]]
+    # With only 2 of 4 replicas alive no new three-view chains can complete
+    # far beyond what was in flight.
+    assert all(after >= before for before, after in zip(committed_before, committed_after))
+
+
+# ---------------------------------------------------------------------------
+# Example 3.6: the three-consecutive-view rule is necessary
+# ---------------------------------------------------------------------------
+
+
+def _propose(view, parent, payload):
+    return ProposeMessage(
+        instance=0,
+        view=view,
+        transaction_digests=(payload,),
+        parent_digest=parent.digest,
+        parent_view=parent.view,
+    )
+
+
+def test_example_3_6_two_view_rule_would_commit_conflicting_proposals():
+    """Reproduce the schedule of Example 3.6 on two replicas' stores.
+
+    Under the paper's three-consecutive-view rule neither replica commits the
+    conflicting proposals P1/P2; under a (hypothetical) two-view rule both
+    would have been committed, which is exactly the anomaly the example
+    demonstrates.
+    """
+    store_r1 = ProposalStore()   # the replica that conditionally prepares P5
+    store_rest = ProposalStore()  # the replicas that follow the P2 branch
+
+    # Everyone conditionally prepared P0.
+    p0_message = _propose(0, store_r1.genesis, b"p0")
+    p0_r1 = store_r1.record_message(p0_message)
+    p0_rest = store_rest.record_message(p0_message)
+    store_r1.mark_conditionally_prepared(p0_r1)
+    store_rest.mark_conditionally_prepared(p0_rest)
+
+    # Views 1 and 2: P1 extends P0, P2 extends P0 (both conditionally prepared).
+    p1_message = _propose(1, p0_r1, b"p1")
+    p2_message = _propose(2, p0_r1, b"p2")
+    p1_r1 = store_r1.record_message(p1_message)
+    p2_r1 = store_r1.record_message(p2_message)
+    store_r1.mark_conditionally_prepared(p1_r1)
+    store_r1.mark_conditionally_prepared(p2_r1)
+    p1_rest = store_rest.record_message(p1_message)
+    p2_rest = store_rest.record_message(p2_message)
+    store_rest.mark_conditionally_prepared(p1_rest)
+    store_rest.mark_conditionally_prepared(p2_rest)
+
+    # View 4: P4 extends P1; only the "rest" group conditionally prepares it.
+    p4_message = _propose(4, p1_rest, b"p4")
+    p4_rest = store_rest.record_message(p4_message)
+    store_rest.mark_conditionally_prepared(p4_rest)
+
+    # View 5: the faulty primary gets only R1 to conditionally prepare P5
+    # (P5 extends P4): under a two-view rule R1 would now commit P1.
+    p5_message = _propose(5, p4_rest, b"p5")
+    store_r1.record_message(p4_message)
+    p5_r1 = store_r1.record_message(p5_message)
+    store_r1.mark_conditionally_prepared(store_r1.get(p4_rest.digest))
+    store_r1.mark_conditionally_prepared(p5_r1)
+
+    # View 3/6: P3 extends P2 and P6 extends P3; the rest of the replicas
+    # conditionally prepare P6: under a two-view rule they would commit P2.
+    p3_message = _propose(3, p2_rest, b"p3")
+    p3_rest = store_rest.record_message(p3_message)
+    store_rest.mark_conditionally_prepared(p3_rest)
+    p6_message = _propose(6, p3_rest, b"p6")
+    p6_rest = store_rest.record_message(p6_message)
+    store_rest.mark_conditionally_prepared(p6_rest)
+
+    p1_committed_by_r1 = store_r1.get(p1_rest.digest).status == ProposalStatus.COMMITTED
+    p2_committed_by_rest = store_rest.get(p2_rest.digest).status == ProposalStatus.COMMITTED
+    # The three-consecutive-view rule commits neither conflicting proposal.
+    assert not p1_committed_by_r1
+    assert not p2_committed_by_rest
+    # A two-consecutive-view rule *would* have committed both: each proposal
+    # has a conditionally prepared child extending it.
+    two_view_commit_p1 = store_r1.get(p4_rest.digest).status >= ProposalStatus.CONDITIONALLY_PREPARED
+    two_view_commit_p2 = p3_rest.status >= ProposalStatus.CONDITIONALLY_PREPARED
+    assert two_view_commit_p1 and two_view_commit_p2
+    assert store_rest.conflicts(p1_rest, p2_rest)

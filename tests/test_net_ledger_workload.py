@@ -1,0 +1,299 @@
+"""Tests for the wire-size model, batching, ledger, KV table and workload."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ledger.block import Block, BlockProof, genesis_block
+from repro.ledger.execution import ExecutionEngine, make_noop_transaction
+from repro.ledger.kvtable import KeyValueTable
+from repro.ledger.ledger import Ledger, LedgerError
+from repro.net.batching import MessageBuffer, SendBuffer
+from repro.net.message import Envelope
+from repro.net.sizes import MessageSizeModel
+from repro.workload.arrival import ClosedLoopLoad, OpenLoopLoad
+from repro.workload.requests import Operation, Transaction
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+from repro.sim.rng import DeterministicRng
+
+
+# ---------------------------------------------------------------------------
+# wire sizes
+# ---------------------------------------------------------------------------
+
+
+def test_reference_sizes_match_the_paper():
+    sizes = MessageSizeModel(batch_size=100, transaction_bytes=48)
+    assert sizes.proposal_bytes() == 5400
+    assert sizes.reply_bytes() == 1748
+    assert sizes.control_bytes() == 432
+
+
+def test_proposal_size_scales_with_batch_and_transaction_size():
+    base = MessageSizeModel(batch_size=100, transaction_bytes=48)
+    bigger_batch = base.with_batch_size(200)
+    bigger_txn = base.with_transaction_bytes(1600)
+    assert bigger_batch.proposal_bytes() > base.proposal_bytes()
+    assert bigger_txn.proposal_bytes() > base.proposal_bytes()
+    assert bigger_batch.reply_bytes() > base.reply_bytes()
+
+
+def test_control_and_certificate_sizes_grow_with_signatures():
+    sizes = MessageSizeModel()
+    assert sizes.control_bytes(signatures=2) == sizes.control_bytes() + 2 * sizes.constants.signature_bytes
+    assert sizes.certificate_bytes(85) > sizes.certificate_bytes(3)
+
+
+def test_envelope_forwarding_preserves_signature():
+    from repro.core.messages import AskMessage, Claim
+
+    message = AskMessage(instance=0, view=1, claim=Claim(view=1, digest=b"d"))
+    envelope = Envelope(sender=3, message=message, size_bytes=100, mac_tag=b"m")
+    forwarded = envelope.with_forwarder(5)
+    assert forwarded.forwarded_by == 5
+    assert forwarded.mac_tag is None
+    assert forwarded.sequence == envelope.sequence
+    assert "AskMessage" in forwarded.described()
+
+
+# ---------------------------------------------------------------------------
+# batching buffers
+# ---------------------------------------------------------------------------
+
+
+def test_message_buffer_emits_full_batches_in_fifo_order():
+    buffer = MessageBuffer(batch_size=3)
+    buffer.extend([1, 2, 3, 4])
+    assert buffer.pop_batch() == [1, 2, 3]
+    assert buffer.pop_batch() is None
+    assert buffer.pop_batch(allow_partial=True) == [4]
+    assert buffer.pending == 0
+
+
+def test_message_buffer_drain_returns_everything():
+    buffer = MessageBuffer(batch_size=10)
+    buffer.extend(range(4))
+    assert buffer.drain() == [0, 1, 2, 3]
+    assert len(buffer) == 0
+
+
+def test_send_buffer_flushes_on_threshold_and_on_demand():
+    flushed = []
+    buffer = SendBuffer(threshold_bytes=100, flush_callback=lambda dest, payloads, total: flushed.append((dest, len(payloads), total)))
+    buffer.enqueue(1, "a", 40)
+    buffer.enqueue(1, "b", 40)
+    assert flushed == []
+    buffer.enqueue(1, "c", 40)
+    assert flushed == [(1, 3, 120)]
+    buffer.enqueue(2, "d", 10)
+    buffer.flush_all()
+    assert flushed[-1] == (2, 1, 10)
+    assert buffer.pending_bytes(1) == 0
+
+
+def test_buffers_reject_invalid_parameters():
+    with pytest.raises(ValueError):
+        MessageBuffer(batch_size=0)
+    with pytest.raises(ValueError):
+        SendBuffer(threshold_bytes=0, flush_callback=lambda *args: None)
+
+
+# ---------------------------------------------------------------------------
+# KV table
+# ---------------------------------------------------------------------------
+
+
+def test_table_initial_values_are_deterministic_across_replicas():
+    a = KeyValueTable(record_count=100, value_size=16)
+    b = KeyValueTable(record_count=100, value_size=16)
+    assert a.read(7) == b.read(7)
+    assert len(a.read(7)) == 16
+
+
+def test_table_write_then_read_round_trip_and_padding():
+    table = KeyValueTable(record_count=10, value_size=8)
+    table.write(3, b"xy")
+    assert table.read(3) == b"xy" + b"\x00" * 6
+    assert table.modified_keys() == 1
+
+
+def test_table_rejects_out_of_range_keys():
+    table = KeyValueTable(record_count=10)
+    with pytest.raises(KeyError):
+        table.read(10)
+    with pytest.raises(KeyError):
+        table.write(-1, b"v")
+
+
+def test_table_state_digest_reflects_writes_only():
+    a = KeyValueTable(record_count=10)
+    b = KeyValueTable(record_count=10)
+    assert a.state_digest() == b.state_digest()
+    a.write(1, b"x" * 48)
+    assert a.state_digest() != b.state_digest()
+    b.write(1, b"x" * 48)
+    assert a.state_digest() == b.state_digest()
+
+
+def test_table_snapshot_restore():
+    table = KeyValueTable(record_count=10)
+    table.write(1, b"a" * 48)
+    snapshot = table.snapshot()
+    table.write(2, b"b" * 48)
+    table.restore(snapshot)
+    assert table.modified_keys() == 1
+
+
+# ---------------------------------------------------------------------------
+# ledger
+# ---------------------------------------------------------------------------
+
+
+def test_ledger_appends_hash_chained_blocks():
+    ledger = Ledger()
+    ledger.append([b"t1", b"t2"], proof=BlockProof("spotless", 1, 0, ("replica:0",)))
+    ledger.append([b"t3"])
+    assert ledger.height == 2
+    assert ledger.total_transactions() == 3
+    assert ledger.verify_chain()
+    assert ledger.transaction_digests() == [b"t1", b"t2", b"t3"]
+
+
+def test_ledger_prefix_relation():
+    a = Ledger()
+    b = Ledger()
+    a.append([b"t1"])
+    b.append([b"t1"])
+    b.append([b"t2"])
+    assert a.matches_prefix_of(b)
+    assert not b.matches_prefix_of(a)
+    divergent = Ledger()
+    divergent.append([b"other"])
+    assert not divergent.matches_prefix_of(b)
+
+
+def test_ledger_block_access_and_errors():
+    ledger = Ledger()
+    block = ledger.append([b"t"])
+    assert ledger.block_at(1) is block
+    assert ledger.block_at(0) == genesis_block()
+    with pytest.raises(LedgerError):
+        ledger.block_at(5)
+
+
+def test_block_digest_changes_with_content():
+    one = Block(height=1, parent_digest=b"\x00" * 32, transactions=(b"a",))
+    two = Block(height=1, parent_digest=b"\x00" * 32, transactions=(b"b",))
+    assert one.digest() != two.digest()
+
+
+# ---------------------------------------------------------------------------
+# execution engine
+# ---------------------------------------------------------------------------
+
+
+def make_engine():
+    table = KeyValueTable(record_count=1000)
+    return ExecutionEngine(table=table, ledger=Ledger())
+
+
+def test_execution_applies_writes_and_appends_block():
+    engine = make_engine()
+    txn = Transaction(client_id=1, sequence=0, operations=(Operation.write(5, b"v" * 48),))
+    results = engine.execute_batch([txn])
+    assert engine.executed_transactions == 1
+    assert engine.ledger.height == 1
+    assert results[0].client_id == 1
+    assert engine.table.read(5) == b"v" * 48
+
+
+def test_execution_reads_return_values():
+    engine = make_engine()
+    txn = Transaction(client_id=1, sequence=0, operations=(Operation.read(5),))
+    result = engine.execute_transaction(txn)
+    assert len(result.read_values) == 1
+
+
+def test_execution_seconds_respects_rate_ceiling():
+    engine = make_engine()
+    assert engine.execution_seconds(340_000) == pytest.approx(1.0)
+    assert engine.execution_seconds(0) == 0.0
+
+
+def test_identical_batches_produce_identical_state_digests():
+    first = make_engine()
+    second = make_engine()
+    txns = [
+        Transaction(client_id=1, sequence=i, operations=(Operation.write(i, bytes([i]) * 48),))
+        for i in range(5)
+    ]
+    first.execute_batch(txns)
+    second.execute_batch(txns)
+    assert first.state_digest() == second.state_digest()
+
+
+def test_noop_transactions_are_deterministic_per_slot():
+    assert make_noop_transaction(2, 7).digest() == make_noop_transaction(2, 7).digest()
+    assert make_noop_transaction(2, 7).digest() != make_noop_transaction(3, 7).digest()
+    assert make_noop_transaction(2, 7).is_noop()
+
+
+# ---------------------------------------------------------------------------
+# workload
+# ---------------------------------------------------------------------------
+
+
+def test_ycsb_write_fraction_roughly_matches_configuration():
+    workload = YcsbWorkload(YcsbConfig(record_count=10_000, write_fraction=0.9), rng=DeterministicRng(1))
+    transactions = workload.transactions(client_id=0, count=500)
+    writes = sum(1 for t in transactions for op in t.operations if op.kind == "write")
+    assert 0.8 < writes / 500 < 1.0
+
+
+def test_ycsb_keys_stay_within_the_table():
+    workload = YcsbWorkload(YcsbConfig(record_count=1000), rng=DeterministicRng(2))
+    for transaction in workload.transactions(client_id=0, count=200):
+        for operation in transaction.operations:
+            assert 0 <= operation.key < 1000
+
+
+def test_ycsb_transactions_are_unique_per_sequence():
+    workload = YcsbWorkload(rng=DeterministicRng(3))
+    digests = {t.digest() for t in workload.transactions(client_id=0, count=100)}
+    assert len(digests) == 100
+
+
+def test_ycsb_config_validation():
+    with pytest.raises(ValueError):
+        YcsbConfig(record_count=0).validate()
+    with pytest.raises(ValueError):
+        YcsbConfig(write_fraction=1.5).validate()
+
+
+def test_transaction_payload_bytes_grow_with_value_size():
+    small = Transaction(client_id=0, sequence=0, operations=(Operation.write(1, b"x" * 48),))
+    large = Transaction(client_id=0, sequence=0, operations=(Operation.write(1, b"x" * 1600),))
+    assert large.payload_bytes() > small.payload_bytes()
+
+
+@given(st.integers(min_value=0, max_value=1_000_000), st.integers(min_value=1, max_value=128))
+@settings(max_examples=60)
+def test_instance_assignment_is_stable_and_in_range(sequence, instances):
+    txn = Transaction(client_id=1, sequence=sequence, operations=(Operation.read(0),))
+    assignment = txn.instance_assignment(instances)
+    assert 0 <= assignment < instances
+    assert assignment == txn.instance_assignment(instances)
+
+
+def test_open_loop_arrivals_respect_rate_and_horizon():
+    load = OpenLoopLoad(rate_per_second=100.0, rng=DeterministicRng(4))
+    arrivals = list(load.arrivals(horizon=1.0))
+    assert 50 < len(arrivals) < 200
+    assert all(0 < t <= 1.0 for t in arrivals)
+
+
+def test_closed_loop_validation_and_concurrency():
+    load = ClosedLoopLoad(clients=8, think_time=0.0)
+    assert load.offered_concurrency() == 8
+    with pytest.raises(ValueError):
+        ClosedLoopLoad(clients=0)

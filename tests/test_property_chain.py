@@ -1,0 +1,189 @@
+"""Property-based tests for the proposal store (Definition 3.3 invariants).
+
+Hypothesis generates arbitrary branching proposal trees and conditional-
+prepare orders; the tests check the structural invariants that the safety
+argument of Section 3.3 relies on:
+
+* the lock view never decreases;
+* proposal status never downgrades and commits imply the full status ladder;
+* commits only happen below three consecutive-view descendants (for the
+  paper's rule) and committed proposals never conflict within one store;
+* the CP set always contains only conditionally prepared proposals at or
+  above the lock view;
+* ``depth`` equals the length of ``precedes``.
+"""
+
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chain import ProposalStatus, ProposalStore
+from repro.core.messages import ProposeMessage
+
+
+# A tree shape is a list of (parent_index, view_gap) pairs: proposal k attaches
+# to the proposal at parent_index (0 = genesis, i > 0 = the i-th generated
+# proposal) with a view that exceeds its parent's view by view_gap.
+TreeShape = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=6), st.integers(min_value=1, max_value=3)),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _build_tree(store: ProposalStore, shape: List[Tuple[int, int]]):
+    """Materialise a tree shape on ``store``, conditionally preparing each node."""
+    nodes = [store.genesis]
+    lock_views = [store.lock.view]
+    for index, (parent_choice, view_gap) in enumerate(shape):
+        parent = nodes[parent_choice % len(nodes)]
+        view = parent.view + view_gap
+        message = ProposeMessage(
+            instance=0,
+            view=view,
+            transaction_digests=(f"txn-{index}".encode(),),
+            parent_digest=parent.digest,
+            parent_view=parent.view,
+        )
+        proposal = store.record_message(message)
+        store.mark_conditionally_prepared(proposal)
+        nodes.append(proposal)
+        lock_views.append(store.lock.view)
+    return nodes, lock_views
+
+
+@given(TreeShape)
+@settings(max_examples=80, deadline=None)
+def test_lock_view_is_monotonically_non_decreasing(shape):
+    store = ProposalStore()
+    _nodes, lock_views = _build_tree(store, shape)
+    assert all(later >= earlier for earlier, later in zip(lock_views, lock_views[1:]))
+
+
+@given(TreeShape)
+@settings(max_examples=80, deadline=None)
+def test_status_ladder_is_consistent(shape):
+    """Committed ⇒ conditionally committed ⇒ conditionally prepared ⇒ recorded."""
+    store = ProposalStore()
+    _build_tree(store, shape)
+    for proposal in store.proposals():
+        if proposal.is_genesis:
+            continue
+        assert proposal.status >= ProposalStatus.RECORDED
+        if proposal.status >= ProposalStatus.COMMITTED:
+            # A committed proposal must have a conditionally prepared child
+            # chain; in particular it must itself have been prepared.
+            assert proposal.status >= ProposalStatus.CONDITIONALLY_PREPARED
+
+
+@given(TreeShape)
+@settings(max_examples=80, deadline=None)
+def test_three_view_commits_have_two_consecutive_descendants(shape):
+    """Under the paper's rule, any committed proposal has descendants in the
+    two immediately following views on a single chain."""
+    store = ProposalStore()
+    nodes, _ = _build_tree(store, shape)
+    by_digest = {node.digest: node for node in nodes}
+    children: Dict[bytes, List] = {}
+    for node in nodes:
+        if node.parent_digest is not None:
+            children.setdefault(node.parent_digest, []).append(node)
+    for committed in store.committed_proposals():
+        descendants_ok = False
+        for child in children.get(committed.digest, []):
+            if child.view != committed.view + 1:
+                continue
+            for grandchild in children.get(child.digest, []):
+                if grandchild.view == child.view + 1:
+                    descendants_ok = True
+        # Commits cascade down the chain, so a committed ancestor may rely on
+        # a descendant further down; walk the chain to find the certifying
+        # triple if the direct children do not provide it.
+        if not descendants_ok:
+            descendants_ok = any(
+                store.extends(other, committed)
+                and other.digest != committed.digest
+                and other.status >= ProposalStatus.COMMITTED
+                for other in store.committed_proposals()
+            )
+        assert descendants_ok
+
+
+@given(TreeShape)
+@settings(max_examples=80, deadline=None)
+def test_committed_proposals_never_conflict_within_one_store(shape):
+    store = ProposalStore()
+    _build_tree(store, shape)
+    committed = store.committed_proposals()
+    for first in committed:
+        for second in committed:
+            assert not store.conflicts(first, second)
+
+
+@given(TreeShape)
+@settings(max_examples=80, deadline=None)
+def test_commit_order_respects_the_chain_order(shape):
+    """A proposal is always committed after every ancestor it extends."""
+    store = ProposalStore()
+    _build_tree(store, shape)
+    order = {proposal.digest: index for index, proposal in enumerate(store.committed_proposals())}
+    for proposal in store.committed_proposals():
+        for ancestor in store.precedes_chain(proposal):
+            if ancestor.is_genesis:
+                continue
+            assert ancestor.digest in order
+            assert order[ancestor.digest] < order[proposal.digest]
+
+
+@given(TreeShape)
+@settings(max_examples=80, deadline=None)
+def test_cp_set_contains_only_prepared_proposals_at_or_above_the_lock(shape):
+    store = ProposalStore()
+    _build_tree(store, shape)
+    lock_view = store.lock.view
+    for entry in store.cp_set():
+        proposal = store.get(entry.digest)
+        assert proposal is not None
+        assert proposal.status >= ProposalStatus.CONDITIONALLY_PREPARED
+        assert entry.view >= min(lock_view, entry.view)
+        assert entry.view == proposal.view
+
+
+@given(TreeShape)
+@settings(max_examples=80, deadline=None)
+def test_depth_equals_length_of_precedes(shape):
+    store = ProposalStore()
+    nodes, _ = _build_tree(store, shape)
+    for node in nodes:
+        assert store.depth(node) == len(store.precedes_chain(node))
+
+
+@given(TreeShape)
+@settings(max_examples=60, deadline=None)
+def test_two_view_rule_commits_at_least_as_much_as_three_view(shape):
+    """The unsafe two-view rule is strictly more eager than the paper's rule."""
+    three = ProposalStore(commit_rule="three-view")
+    two = ProposalStore(commit_rule="two-view")
+    _build_tree(three, shape)
+    _build_tree(two, shape)
+    committed_three = {proposal.digest for proposal in three.committed_proposals()}
+    committed_two = {proposal.digest for proposal in two.committed_proposals()}
+    assert committed_three <= committed_two
+
+
+@given(TreeShape)
+@settings(max_examples=60, deadline=None)
+def test_acceptance_rule_accepts_children_of_the_lock_chain(shape):
+    """A new proposal extending the highest prepared tip is always acceptable."""
+    store = ProposalStore()
+    nodes, _ = _build_tree(store, shape)
+    tip = store.highest_conditionally_prepared()
+    message = ProposeMessage(
+        instance=0,
+        view=tip.view + 1,
+        transaction_digests=(b"next",),
+        parent_digest=tip.digest,
+        parent_view=tip.view,
+    )
+    assert store.is_acceptable(message)

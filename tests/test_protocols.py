@@ -1,0 +1,262 @@
+"""Tests for the baseline protocols: PBFT, RCC, HotStuff and Narwhal-HS."""
+
+import pytest
+
+from repro.bench.cluster import SimulatedCluster
+from repro.protocols.common import BftConfig
+from repro.protocols.hotstuff.messages import QuorumCert
+from repro.protocols.hotstuff.replica import GENESIS_NODE_DIGEST
+from repro.protocols.pbft.core import PbftEnvironment, PbftInstanceCore
+from repro.protocols.pbft.messages import (
+    CommitMessage,
+    ComplaintMessage,
+    NewViewMessage,
+    PrepareMessage,
+    PrePrepareMessage,
+    ViewChangeMessage,
+)
+
+
+# ---------------------------------------------------------------------------
+# BftConfig
+# ---------------------------------------------------------------------------
+
+
+def test_bft_config_quorums_and_validation():
+    config = BftConfig(num_replicas=7)
+    assert config.f == 2
+    assert config.quorum == 5
+    assert config.weak_quorum == 3
+    with pytest.raises(ValueError):
+        BftConfig(num_replicas=2)
+    with pytest.raises(ValueError):
+        BftConfig(num_replicas=4, pipeline_depth=0)
+
+
+# ---------------------------------------------------------------------------
+# PBFT core state machine (manual harness)
+# ---------------------------------------------------------------------------
+
+
+class PbftHarness:
+    """Connects PBFT cores of all replicas with manual delivery queues."""
+
+    def __init__(self, num_replicas=4, batches=None, **config_kwargs):
+        self.config = BftConfig(num_replicas=num_replicas, pipeline_depth=4, **config_kwargs)
+        self.queues = []
+        self.decisions = {r: [] for r in range(num_replicas)}
+        self.batches = {r: list(batches or []) for r in range(num_replicas)}
+        self.timers = {r: [] for r in range(num_replicas)}
+        self.cores = {}
+        for replica in range(num_replicas):
+            self.cores[replica] = PbftInstanceCore(
+                instance_id=0,
+                config=self.config,
+                environment=PbftEnvironment(
+                    replica_id=replica,
+                    broadcast=lambda m, _r=replica: self.queues.append((_r, None, m)),
+                    send=lambda to, m, _r=replica: self.queues.append((_r, to, m)),
+                    set_timer=self._set_timer(replica),
+                    cancel_timer=lambda handle: handle.update(cancelled=True),
+                    next_batch=lambda instance, _r=replica: self._next_batch(_r),
+                    on_decide=lambda instance, seq, view, digests, _r=replica: self.decisions[_r].append(
+                        (seq, view, digests)
+                    ),
+                ),
+            )
+
+    def _set_timer(self, replica):
+        def setter(name, delay, callback):
+            handle = {"cancelled": False, "callback": callback}
+            self.timers[replica].append(handle)
+            return handle
+
+        return setter
+
+    def _next_batch(self, replica):
+        if self.batches[replica]:
+            return self.batches[replica].pop(0)
+        return None
+
+    def deliver_all(self, drop=None, max_rounds=50):
+        rounds = 0
+        while self.queues and rounds < max_rounds:
+            rounds += 1
+            batch, self.queues = self.queues, []
+            for sender, receiver, message in batch:
+                targets = [receiver] if receiver is not None else list(self.cores)
+                for target in targets:
+                    if drop and drop(sender, target, message):
+                        continue
+                    self.cores[target].on_message(sender, message)
+
+    def fire_timers(self, replica):
+        pending, self.timers[replica] = self.timers[replica], []
+        for handle in pending:
+            if not handle["cancelled"]:
+                handle["callback"]()
+
+
+def test_pbft_normal_case_decides_the_batch_everywhere():
+    harness = PbftHarness(batches=[(b"t1", b"t2")])
+    for core in harness.cores.values():
+        core.start()
+    harness.deliver_all()
+    for replica, decisions in harness.decisions.items():
+        assert decisions == [(0, 0, (b"t1", b"t2"))]
+
+
+def test_pbft_out_of_order_processing_runs_slots_concurrently():
+    harness = PbftHarness(batches=[(b"a",), (b"b",), (b"c",)])
+    primary = harness.cores[0]
+    primary.start()
+    # Before any Prepare/Commit exchange the primary has already pre-proposed
+    # all three batches (window is 4).
+    assert primary.preprepares_sent == 3
+    harness.deliver_all()
+    assert [seq for seq, _, _ in sorted(harness.decisions[1])] == [0, 1, 2]
+
+
+def test_pbft_requires_quorum_before_deciding():
+    harness = PbftHarness(batches=[(b"a",)])
+    harness.cores[0].start()
+
+    def drop_commits_to_replica_3(sender, receiver, message):
+        return isinstance(message, (PrepareMessage, CommitMessage)) and receiver == 3 and sender != 3
+
+    harness.deliver_all(drop=drop_commits_to_replica_3)
+    # Replica 3 saw the PrePrepare but not enough Prepare/Commit messages.
+    assert harness.decisions[0] and harness.decisions[1]
+    assert harness.decisions[3] == []
+
+
+def test_pbft_ignores_equivocating_second_preprepare():
+    harness = PbftHarness(batches=[(b"a",)])
+    backup = harness.cores[1]
+    backup.on_preprepare(0, PrePrepareMessage(instance=0, view=0, sequence=0, transaction_digests=(b"x",)))
+    backup.on_preprepare(0, PrePrepareMessage(instance=0, view=0, sequence=0, transaction_digests=(b"y",)))
+    slot = backup.slots[0]
+    assert slot.digests == (b"x",)
+
+
+def test_pbft_rejects_preprepare_from_non_primary():
+    harness = PbftHarness()
+    backup = harness.cores[1]
+    backup.on_preprepare(2, PrePrepareMessage(instance=0, view=0, sequence=0, transaction_digests=(b"x",)))
+    assert 0 not in backup.slots or backup.slots[0].digests is None
+
+
+def test_pbft_view_change_replaces_silent_primary():
+    harness = PbftHarness(batches=[(b"a",)])
+    # Do not start the primary (replica 0); backups arm their progress timers.
+    for replica in (1, 2, 3):
+        harness.cores[replica].arm_progress_timer()
+        harness.fire_timers(replica)
+    harness.deliver_all()
+    # Replica 1 is the primary of view 1 and should have announced NewView.
+    assert all(harness.cores[r].view == 1 for r in (1, 2, 3))
+    assert harness.cores[1].is_primary()
+
+
+def test_pbft_view_change_reproposes_prepared_slots():
+    harness = PbftHarness(batches=[(b"a",)])
+    harness.cores[0].start()
+
+    # Let the slot prepare everywhere but drop all Commit messages so nothing decides.
+    def drop_commits(sender, receiver, message):
+        return isinstance(message, CommitMessage)
+
+    harness.deliver_all(drop=drop_commits)
+    assert all(not decisions for decisions in harness.decisions.values())
+    # Now force a view change; the prepared slot must be re-proposed and decided.
+    for replica in (1, 2, 3):
+        harness.cores[replica].request_view_change(1)
+    harness.deliver_all()
+    for replica in (1, 2, 3):
+        assert any(seq == 0 and digests == (b"a",) for seq, _view, digests in harness.decisions[replica])
+
+
+# ---------------------------------------------------------------------------
+# protocol cluster integrations (message-level simulator)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "hotstuff", "narwhal-hs"])
+def test_baseline_cluster_liveness_and_consistency(protocol):
+    cluster = SimulatedCluster.for_protocol(protocol, num_replicas=4, clients=3, outstanding_per_client=4, batch_size=5)
+    result = cluster.run(duration=1.0)
+    cluster.assert_no_divergence()
+    assert result.confirmed_transactions > 5
+    assert all(replica.ledger.verify_chain() for replica in cluster.replicas)
+
+
+def test_rcc_cluster_liveness_and_consistency():
+    cluster = SimulatedCluster.for_protocol("rcc", num_replicas=4, clients=3, outstanding_per_client=4, batch_size=5)
+    result = cluster.run(duration=0.4)
+    cluster.assert_no_divergence()
+    assert result.confirmed_transactions > 5
+
+
+def test_for_protocol_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        SimulatedCluster.for_protocol("raft", num_replicas=4)
+
+
+def test_rcc_routes_requests_to_instances_and_resolves_noops():
+    cluster = SimulatedCluster.for_protocol("rcc", num_replicas=4, clients=2, outstanding_per_client=2, batch_size=5)
+    cluster.run(duration=0.3)
+    replica = cluster.replicas[0]
+    assert replica.num_instances == 4
+    # Idle instances filled rounds with reconstructible no-ops.
+    assert replica.decided_batches > 0
+    noop_digest_found = any(
+        replica.resolve_noop(digest, position) is not None
+        for position, digests in list(replica._decided.items())[:50]
+        for digest in digests
+    )
+    assert noop_digest_found
+
+
+def test_rcc_complaints_trigger_backoff_penalty():
+    cluster = SimulatedCluster.for_protocol("rcc", num_replicas=4, clients=1, outstanding_per_client=1, batch_size=5)
+    cluster.start()
+    cluster.simulator.run_for(0.2)
+    replica = cluster.replicas[1]
+    target_instance = 0
+    view_before = replica.cores[target_instance].view
+    for sender in (1, 2):
+        replica._on_complaint(sender, ComplaintMessage(instance=target_instance, view=view_before))
+    assert replica.backoff_penalty(target_instance) > 0
+
+
+def test_hotstuff_three_chain_commit_and_leader_rotation():
+    cluster = SimulatedCluster.for_protocol("hotstuff", num_replicas=4, clients=2, outstanding_per_client=3, batch_size=5)
+    cluster.run(duration=1.0)
+    replica = cluster.replicas[0]
+    assert replica.committed_chain_height() > 3
+    assert replica.view > 3
+    # Committed chain nodes come from a rotation of leaders, not a single one.
+    leader_views = {node.view % 4 for node in replica.nodes.values() if node.committed and node.view >= 0}
+    assert len(leader_views) > 1
+
+
+def test_hotstuff_quorum_cert_validation():
+    qc = QuorumCert(view=3, node_digest=b"d", signers=(0, 1, 2))
+    assert qc.is_valid(3)
+    assert not qc.is_valid(4)
+    duplicate_signers = QuorumCert(view=3, node_digest=b"d", signers=(0, 0, 0))
+    assert not duplicate_signers.is_valid(2)
+
+
+def test_narwhal_messages_are_heavier_and_charge_signatures():
+    spotless_like = SimulatedCluster.for_protocol("hotstuff", num_replicas=4, clients=1, outstanding_per_client=1, batch_size=5)
+    narwhal = SimulatedCluster.for_protocol("narwhal-hs", num_replicas=4, clients=1, outstanding_per_client=1, batch_size=5)
+    spotless_like.run(duration=0.4)
+    narwhal.run(duration=0.4)
+    hs_replica = spotless_like.replicas[0]
+    nw_replica = narwhal.replicas[0]
+    from repro.protocols.hotstuff.messages import HsVote
+
+    vote = HsVote(view=1, node_digest=b"d", voter=0)
+    assert nw_replica._size_of(vote) > hs_replica._size_of(vote)
+    assert nw_replica.signature_verifications > 0

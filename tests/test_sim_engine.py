@@ -1,0 +1,146 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(0.5, lambda: order.append("b"))
+    sim.schedule(0.1, lambda: order.append("a"))
+    sim.schedule(0.9, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_break_ties_by_priority_then_insertion():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("second"), priority=1)
+    sim.schedule(1.0, lambda: order.append("first"), priority=0)
+    sim.schedule(1.0, lambda: order.append("third"), priority=1)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_times():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_for_advances_relative_to_current_time():
+    sim = Simulator()
+    sim.run_for(3.0)
+    assert sim.now == 3.0
+    sim.run_for(2.0)
+    assert sim.now == 5.0
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator(start_time=10.0)
+    seen = []
+    sim.schedule_at(12.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [12.0]
+
+
+def test_stop_halts_the_run_loop():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.stop()
+
+    sim.schedule(1.0, first)
+    sim.schedule(2.0, lambda: order.append("second"))
+    sim.run()
+    assert order == ["first"]
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(0.5, lambda: order.append("inner"))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert order == ["outer", "inner"]
+    assert sim.now == 1.5
+
+
+def test_max_events_guard_detects_runaway_loops():
+    sim = Simulator(max_events=100)
+
+    def rearm():
+        sim.schedule(0.001, rearm)
+
+    sim.schedule(0.001, rearm)
+    with pytest.raises(SimulationError):
+        sim.run(until=100.0)
+
+
+def test_processed_and_pending_event_counters():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.run(until=1.5)
+    assert sim.processed_events == 1
+
+
+def test_trace_hook_sees_every_event():
+    sim = Simulator()
+    labels = []
+    sim.set_trace(lambda event: labels.append(event.label))
+    sim.schedule(0.1, lambda: None, label="one")
+    sim.schedule(0.2, lambda: None, label="two")
+    sim.run()
+    assert labels == ["one", "two"]
+
+
+def test_drain_cancels_a_batch_of_events():
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(1.0, lambda: fired.append("x")) for _ in range(5)]
+    sim.drain(events)
+    sim.run()
+    assert fired == []
