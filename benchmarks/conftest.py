@@ -16,6 +16,12 @@ from typing import Dict, Iterable, List, Sequence
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as `figure` so tier-1 runs can exclude them."""
+    for item in items:
+        item.add_marker(pytest.mark.figure)
+
+
 def series_by(rows: Sequence[Dict[str, object]], key: str, protocol: str, value: str = "throughput_txn_s") -> Dict[object, float]:
     """Extract ``{x: y}`` for one protocol from experiment rows."""
     return {row[key]: float(row[value]) for row in rows if row["protocol"] == protocol}

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.runtime.quorum import QuorumParams
+
 
 @dataclass(frozen=True)
 class SpotLessConfig:
@@ -91,26 +93,32 @@ class SpotLessConfig:
         if self.assignment_policy not in self.ASSIGNMENT_POLICIES:
             raise ValueError(f"assignment_policy must be one of {self.ASSIGNMENT_POLICIES}")
         object.__setattr__(self, "num_instances", instances)
+        object.__setattr__(self, "_quorum_params", QuorumParams.spotless(self.num_replicas))
+
+    @property
+    def quorum_params(self) -> QuorumParams:
+        """SpotLess's n − f quorum arithmetic."""
+        return self._quorum_params
 
     @property
     def n(self) -> int:
         """Number of replicas."""
-        return self.num_replicas
+        return self._quorum_params.n
 
     @property
     def f(self) -> int:
         """Maximum number of faulty replicas tolerated: ⌊(n − 1) / 3⌋."""
-        return (self.num_replicas - 1) // 3
+        return self._quorum_params.f
 
     @property
     def quorum(self) -> int:
         """The n − f quorum used for conditional prepares and certificates."""
-        return self.num_replicas - self.f
+        return self._quorum_params.quorum
 
     @property
     def weak_quorum(self) -> int:
         """The f + 1 threshold guaranteeing at least one non-faulty replica."""
-        return self.f + 1
+        return self._quorum_params.weak_quorum
 
     def primary_of(self, instance: int, view: int) -> int:
         """Replica id of the primary of instance ``instance`` in ``view``.

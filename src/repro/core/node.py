@@ -5,12 +5,17 @@ their primaries (``id(P_{i,v}) = (i + v) mod n``), assigns incoming client
 requests to instances by digest, totally orders committed proposals by
 ``(view, instance)``, executes them against the replica's YCSB table and
 ledger, and informs clients of the outcome.
+
+The request pool, execution engine and client Informs come from the shared
+:mod:`repro.runtime` layer (the same fabric the baseline replicas run on);
+this module adds only what is SpotLess-specific: the chained instances, the
+cross-instance total order and its contiguity-aware execution frontier.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.chain import Proposal
 from repro.core.config import SpotLessConfig
@@ -23,13 +28,11 @@ from repro.core.messages import (
     ProposeMessage,
     SyncMessage,
 )
-from repro.ledger.block import BlockProof
-from repro.ledger.execution import ExecutionEngine, make_noop_transaction
-from repro.ledger.kvtable import KeyValueTable
-from repro.ledger.ledger import Ledger
+from repro.ledger.execution import make_noop_transaction
 from repro.net.message import Message
 from repro.net.sizes import MessageSizeModel
-from repro.sim.actor import Actor
+from repro.runtime.mempool import AdmitResult
+from repro.runtime.replica import ReplicaRuntime
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.workload.requests import Transaction
@@ -58,7 +61,7 @@ class CommitRecord:
         return (self.view, self.instance)
 
 
-class SpotLessReplica(Actor):
+class SpotLessReplica(ReplicaRuntime):
     """A SpotLess replica running inside the discrete-event simulator.
 
     Parameters
@@ -84,20 +87,15 @@ class SpotLessReplica(Actor):
         size_model: Optional[MessageSizeModel] = None,
         client_node_offset: Optional[int] = None,
     ) -> None:
-        super().__init__(node_id, simulator, network)
-        self.config = config
-        self.size_model = size_model or MessageSizeModel(batch_size=config.batch_size)
-        self.client_node_offset = client_node_offset if client_node_offset is not None else config.num_replicas
-
-        self.table = KeyValueTable()
-        self.ledger = Ledger()
-        self.execution = ExecutionEngine(table=self.table, ledger=self.ledger)
-
-        # Request pool and per-instance pending queues.
-        self._request_pool: Dict[bytes, Transaction] = {}
-        self._pending: Dict[int, List[bytes]] = {i: [] for i in range(config.num_instances)}
-        self._proposed_digests: Set[bytes] = set()
-        self._executed_digests: Set[bytes] = set()
+        super().__init__(
+            node_id,
+            config,
+            simulator,
+            network,
+            protocol_name="spotless",
+            size_model=size_model,
+            client_node_offset=client_node_offset,
+        )
 
         # Commit tracking for the cross-instance total order.
         self._committed_by_view: Dict[int, Dict[int, CommitRecord]] = {
@@ -106,7 +104,6 @@ class SpotLessReplica(Actor):
         self._max_committed_view: Dict[int, int] = {i: -1 for i in range(config.num_instances)}
         self._next_execution_view = 0
         self.commit_log: List[CommitRecord] = []
-        self.executed_transactions = 0
 
         self.instances: Dict[int, SpotLessInstance] = {}
         for instance_id in range(config.num_instances):
@@ -132,7 +129,7 @@ class SpotLessReplica(Actor):
             sign=lambda message: None,
             verify=lambda message, signature, sender: True,
             now=lambda: self.simulator.now,
-            has_pending=lambda target_instance: bool(self._pending[target_instance]),
+            has_pending=lambda target_instance: self.mempool.has_pending(target_instance),
         )
 
     def _message_size(self, message: Message) -> int:
@@ -146,10 +143,6 @@ class SpotLessReplica(Actor):
         if isinstance(message, SyncMessage):
             return self.size_model.control_bytes(signatures=1)
         return self.size_model.control_bytes()
-
-    def other_replicas(self) -> List[int]:
-        """All replica ids except this one."""
-        return [r for r in self.config.replica_ids() if r != self.node_id]
 
     def _broadcast_protocol(self, instance_id: int, message: Message) -> None:
         size = self._message_size(message)
@@ -180,31 +173,18 @@ class SpotLessReplica(Actor):
     # client requests and batching
     # ------------------------------------------------------------------
 
-    def submit_transaction(self, transaction: Transaction) -> None:
-        """Accept a client transaction into the request pool.
+    def _after_submit(self, outcome: AdmitResult) -> None:
+        """A newly arrived payload may unblock a stalled execution frontier.
 
         ResilientDB broadcasts request payloads ahead of consensus, so every
         replica holds the payload and the instance responsible for the digest
-        queues it for proposal (Section 5/6.1).
+        queues it for proposal (Section 5/6.1); admission itself is handled
+        by the shared mempool.
         """
-        digest = transaction.digest()
-        if digest in self._executed_digests:
-            return
-        instance_id = self._assign_instance(transaction)
-        if digest in self._request_pool:
-            # Client retransmission: if the request is neither queued nor
-            # already proposed-and-pending, queue it again so a proposal that
-            # ended up on an abandoned branch is eventually retried.
-            if digest in self._proposed_digests and digest not in self._pending[instance_id]:
-                self._proposed_digests.discard(digest)
-                self._pending[instance_id].append(digest)
-            return
-        self._request_pool[digest] = transaction
-        self._pending[instance_id].append(digest)
-        # A newly arrived payload may unblock a stalled execution frontier.
-        self._advance_execution()
+        if outcome is AdmitResult.NEW:
+            self._advance_execution()
 
-    def _assign_instance(self, transaction: Transaction) -> int:
+    def _assign_shard(self, transaction: Transaction) -> int:
         """Instance responsible for proposing ``transaction``.
 
         The paper assigns requests to instances by digest (Section 5), which
@@ -217,30 +197,14 @@ class SpotLessReplica(Actor):
             return transaction.client_id % self.config.num_instances
         return transaction.instance_assignment(self.config.num_instances)
 
-    def pending_request_count(self) -> int:
-        """Requests queued across all instances and not yet proposed by this replica."""
-        return sum(len(queue) for queue in self._pending.values())
-
     def pending_per_instance(self) -> Dict[int, int]:
         """Queued-but-not-proposed request count per instance (load balance)."""
-        return {instance_id: len(queue) for instance_id, queue in self._pending.items()}
+        return self.mempool.pending_per_shard()
 
     def _next_batch(self, instance_id: int, view: int) -> Tuple[bytes, ...]:
-        queue = self._pending[instance_id]
-        batch: List[bytes] = []
-        while queue and len(batch) < self.config.batch_size:
-            digest = queue.pop(0)
-            if digest in self._executed_digests or digest in self._proposed_digests:
-                continue
-            batch.append(digest)
-        if not batch:
-            # Section 5: propose a no-op so execution of other instances in
-            # this view is not blocked.
-            noop = make_noop_transaction(instance_id, view)
-            self._request_pool[noop.digest()] = noop
-            batch = [noop.digest()]
-        self._proposed_digests.update(batch)
-        return tuple(batch)
+        return self.take_batch_or_noop(
+            instance_id, lambda: make_noop_transaction(instance_id, view)
+        )
 
     # ------------------------------------------------------------------
     # message dispatch
@@ -359,7 +323,7 @@ class SpotLessReplica(Actor):
                     return
                 resolved.append((record, transactions))
             for record, transactions in resolved:
-                self._execute_record(record, transactions)
+                self.pipeline.execute(transactions, view=record.view, instance=record.instance)
             self._next_execution_view += 1
 
     def _resolve_transactions(self, record: CommitRecord) -> Optional[List[Transaction]]:
@@ -379,45 +343,16 @@ class SpotLessReplica(Actor):
             digests = proposal.message.transaction_digests
         transactions: List[Transaction] = []
         for digest in digests:
-            transaction = self._request_pool.get(digest)
+            transaction = self.mempool.get(digest)
             if transaction is None:
                 noop = make_noop_transaction(record.instance, record.view)
                 if noop.digest() == digest:
                     transaction = noop
-                    self._request_pool[digest] = noop
+                    self.mempool.register_payload(noop)
                 else:
                     return None
             transactions.append(transaction)
         return transactions
-
-    def _execute_record(self, record: CommitRecord, transactions: List[Transaction]) -> None:
-        fresh = [t for t in transactions if t.digest() not in self._executed_digests]
-        if not fresh:
-            return
-        for transaction in fresh:
-            self._executed_digests.add(transaction.digest())
-        proof = BlockProof(
-            protocol="spotless",
-            view=record.view,
-            instance=record.instance,
-            quorum=tuple(f"replica:{r}" for r in range(self.config.quorum)),
-        )
-        self.execution.execute_batch(fresh, proof=proof)
-        for transaction in fresh:
-            if transaction.is_noop():
-                continue
-            self.executed_transactions += 1
-            self._inform_client(transaction)
-
-    def _inform_client(self, transaction: Transaction) -> None:
-        inform = InformMessage(
-            replica=self.node_id,
-            client_id=transaction.client_id,
-            transaction_digest=transaction.digest(),
-        )
-        client_node = self.client_node_offset + transaction.client_id
-        if client_node in self.network.node_ids():
-            self.send(client_node, inform, self.size_model.reply_bytes())
 
     # ------------------------------------------------------------------
     # introspection
@@ -444,7 +379,7 @@ class SpotLessReplica(Actor):
         counts: Dict[int, int] = {i: 0 for i in range(self.config.num_instances)}
         for record in self.commit_log:
             for digest in record.transaction_digests:
-                transaction = self._request_pool.get(digest)
+                transaction = self.mempool.get(digest)
                 if transaction is not None and not transaction.is_noop():
                     counts[record.instance] += 1
         return counts
@@ -463,10 +398,6 @@ class SpotLessReplica(Actor):
     def executed_transaction_digests(self) -> List[bytes]:
         """Digests of executed transactions in ledger order (a true prefix order)."""
         return self.ledger.transaction_digests()
-
-    def state_digest(self) -> bytes:
-        """Digest of the replica's executed state (divergence checks)."""
-        return self.execution.state_digest()
 
 
 __all__ = ["CommitRecord", "SpotLessReplica"]

@@ -3,25 +3,21 @@
 The baselines differ from SpotLess (and from each other) only in their
 consensus logic.  Request pools, batching, the execution engine, the ledger
 and client Informs are identical across protocols, mirroring how all of them
-are implemented inside the same ResilientDB fabric in the paper.
+are implemented inside the same ResilientDB fabric in the paper; that shared
+machinery lives in :mod:`repro.runtime` and :class:`BftReplicaBase` is the
+thin baseline-facing veneer over it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
-from repro.core.messages import InformMessage
-from repro.ledger.block import BlockProof
-from repro.ledger.execution import ExecutionEngine
-from repro.ledger.kvtable import KeyValueTable
-from repro.ledger.ledger import Ledger
-from repro.net.message import Message
 from repro.net.sizes import MessageSizeModel
-from repro.sim.actor import Actor
+from repro.runtime.quorum import QuorumParams
+from repro.runtime.replica import ReplicaRuntime
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
-from repro.workload.requests import Transaction
 
 
 @dataclass(frozen=True)
@@ -44,39 +40,47 @@ class BftConfig:
             raise ValueError("pipeline_depth must be positive")
         if not 1 <= self.num_instances <= self.num_replicas:
             raise ValueError("num_instances must satisfy 1 <= m <= n")
+        object.__setattr__(self, "_quorum_params", QuorumParams.bft(self.num_replicas))
+
+    @property
+    def quorum_params(self) -> QuorumParams:
+        """The 2f + 1 quorum arithmetic of the PBFT-family baselines."""
+        return self._quorum_params
 
     @property
     def n(self) -> int:
         """Number of replicas."""
-        return self.num_replicas
+        return self._quorum_params.n
 
     @property
     def f(self) -> int:
         """Tolerated faults: ⌊(n − 1)/3⌋."""
-        return (self.num_replicas - 1) // 3
+        return self._quorum_params.f
 
     @property
     def quorum(self) -> int:
         """2f + 1 agreement quorum (equals n − f when n = 3f + 1)."""
-        return 2 * self.f + 1
+        return self._quorum_params.quorum
 
     @property
     def weak_quorum(self) -> int:
         """f + 1."""
-        return self.f + 1
+        return self._quorum_params.weak_quorum
 
     def replica_ids(self) -> range:
         """All replica identifiers."""
-        return range(self.num_replicas)
+        return self._quorum_params.replica_ids()
 
 
-class BftReplicaBase(Actor):
+class BftReplicaBase(ReplicaRuntime):
     """Shared replica machinery: request pool, batching, execution, Informs.
 
-    Protocol subclasses implement :meth:`on_protocol_message` and call
-    :meth:`deliver_batch` once a batch of transaction digests is decided at a
-    given position in the global order.  Execution happens strictly in
-    position order; gaps stall the execution frontier.
+    Protocol subclasses implement
+    :meth:`~repro.runtime.replica.ReplicaRuntime.on_protocol_message` and
+    call :meth:`~repro.runtime.replica.ReplicaRuntime.deliver_batch` once a
+    batch of transaction digests is decided at a given position in the
+    global order.  Execution happens strictly in position order; gaps stall
+    the execution frontier.
     """
 
     def __init__(
@@ -89,194 +93,23 @@ class BftReplicaBase(Actor):
         protocol_name: str = "bft",
         client_node_offset: Optional[int] = None,
     ) -> None:
-        super().__init__(node_id, simulator, network)
-        self.config = config
-        self.protocol_name = protocol_name
-        self.size_model = size_model or MessageSizeModel(batch_size=config.batch_size)
-        self.client_node_offset = (
-            client_node_offset if client_node_offset is not None else config.num_replicas
+        super().__init__(
+            node_id,
+            config,
+            simulator,
+            network,
+            protocol_name=protocol_name,
+            size_model=size_model,
+            client_node_offset=client_node_offset,
         )
 
-        self.table = KeyValueTable()
-        self.ledger = Ledger()
-        self.execution = ExecutionEngine(table=self.table, ledger=self.ledger)
-
-        self._request_pool: Dict[bytes, Transaction] = {}
-        self._pending: List[bytes] = []
-        self._proposed_digests: Set[bytes] = set()
-        self._executed_digests: Set[bytes] = set()
-
-        # Decided batches keyed by their global order position.
-        self._decided: Dict[int, Tuple[bytes, ...]] = {}
-        self._decision_meta: Dict[int, Tuple[int, int]] = {}
-        self._next_execution_position = 0
-        self.executed_transactions = 0
-        self.decided_batches = 0
-
     # ------------------------------------------------------------------
-    # request handling
+    # batching (single-instance protocols use mempool shard 0)
     # ------------------------------------------------------------------
-
-    def submit_transaction(self, transaction: Transaction) -> None:
-        """Accept a client transaction into the request pool."""
-        digest = transaction.digest()
-        if digest in self._executed_digests:
-            return
-        if digest in self._request_pool:
-            if digest in self._proposed_digests and digest not in self._pending:
-                self._proposed_digests.discard(digest)
-                self._pending.append(digest)
-            self._advance_execution()
-            return
-        self._request_pool[digest] = transaction
-        self._pending.append(digest)
-        self.on_request_arrival()
-        self._advance_execution()
-
-    def on_request_arrival(self) -> None:
-        """Hook: called when a new request is queued (primaries may propose)."""
-
-    def pending_request_count(self) -> int:
-        """Requests queued but not yet proposed by this replica."""
-        return len(self._pending)
 
     def take_batch(self, allow_empty: bool = False) -> Optional[Tuple[bytes, ...]]:
         """Pop up to ``batch_size`` pending digests for a new proposal."""
-        batch: List[bytes] = []
-        while self._pending and len(batch) < self.config.batch_size:
-            digest = self._pending.pop(0)
-            if digest in self._executed_digests or digest in self._proposed_digests:
-                continue
-            batch.append(digest)
-        if not batch and not allow_empty:
-            return None
-        self._proposed_digests.update(batch)
-        return tuple(batch)
-
-    def requeue_batch(self, batch: Sequence[bytes]) -> None:
-        """Return an unused batch to the head of the pending queue."""
-        for digest in reversed(list(batch)):
-            self._proposed_digests.discard(digest)
-            self._pending.insert(0, digest)
-
-    # ------------------------------------------------------------------
-    # message plumbing
-    # ------------------------------------------------------------------
-
-    def start(self) -> None:
-        """Hook: start the protocol (arm timers, propose if primary)."""
-
-    def on_message(self, sender: int, payload: object) -> None:
-        """Route deliveries: transactions go to the pool, the rest to the protocol."""
-        if isinstance(payload, Transaction):
-            self.submit_transaction(payload)
-            return
-        self.on_protocol_message(sender, payload)
-
-    def on_protocol_message(self, sender: int, payload: object) -> None:
-        """Handle a consensus message; implemented by protocol subclasses."""
-        raise NotImplementedError
-
-    def other_replicas(self) -> List[int]:
-        """All replica ids except this one."""
-        return [r for r in self.config.replica_ids() if r != self.node_id]
-
-    def broadcast_protocol(self, message: Message, size_bytes: int, include_self: bool = True) -> None:
-        """Broadcast a consensus message to the other replicas (and locally)."""
-        self.broadcast(self.other_replicas(), message, size_bytes)
-        if include_self:
-            self.on_protocol_message(self.node_id, message)
-
-    # ------------------------------------------------------------------
-    # decisions and execution
-    # ------------------------------------------------------------------
-
-    def deliver_batch(
-        self,
-        position: int,
-        transaction_digests: Tuple[bytes, ...],
-        view: int = 0,
-        instance: int = 0,
-    ) -> None:
-        """Record that the batch at ``position`` in the global order is decided."""
-        if position in self._decided:
-            return
-        self._decided[position] = transaction_digests
-        self._decision_meta[position] = (view, instance)
-        self.decided_batches += 1
-        self._advance_execution()
-
-    def decided_positions(self) -> List[int]:
-        """All decided positions (not necessarily contiguous)."""
-        return sorted(self._decided)
-
-    def resolve_noop(self, digest: bytes, position: int) -> Optional[Transaction]:
-        """Hook for protocols that propose reconstructible no-op batches."""
-        return None
-
-    def _advance_execution(self) -> None:
-        while self._next_execution_position in self._decided:
-            position = self._next_execution_position
-            digests = self._decided[position]
-            transactions: List[Transaction] = []
-            for digest in digests:
-                transaction = self._request_pool.get(digest)
-                if transaction is None:
-                    transaction = self.resolve_noop(digest, position)
-                    if transaction is None:
-                        return
-                    self._request_pool[digest] = transaction
-                transactions.append(transaction)
-            self._execute_position(position, transactions)
-            self._next_execution_position += 1
-
-    def _execute_position(self, position: int, transactions: List[Transaction]) -> None:
-        fresh = [t for t in transactions if t.digest() not in self._executed_digests]
-        if fresh:
-            for transaction in fresh:
-                self._executed_digests.add(transaction.digest())
-            view, instance = self._decision_meta.get(position, (0, 0))
-            proof = BlockProof(
-                protocol=self.protocol_name,
-                view=view,
-                instance=instance,
-                quorum=tuple(f"replica:{r}" for r in range(self.config.quorum)),
-            )
-            self.execution.execute_batch(fresh, proof=proof)
-            for transaction in fresh:
-                if transaction.is_noop():
-                    continue
-                self.executed_transactions += 1
-                self._inform_client(transaction)
-
-    def _inform_client(self, transaction: Transaction) -> None:
-        inform = InformMessage(
-            replica=self.node_id,
-            client_id=transaction.client_id,
-            transaction_digest=transaction.digest(),
-        )
-        client_node = self.client_node_offset + transaction.client_id
-        if client_node in self.network.node_ids():
-            self.send(client_node, inform, self.size_model.reply_bytes())
-
-    # ------------------------------------------------------------------
-    # introspection used by tests and the cluster harness
-    # ------------------------------------------------------------------
-
-    def committed_map(self) -> Dict[Tuple[int, int], bytes]:
-        """Mapping of decided position to a digest of the decided batch."""
-        return {
-            (position, 0): b"".join(digests) if digests else b""
-            for position, digests in self._decided.items()
-        }
-
-    def executed_transaction_digests(self) -> List[bytes]:
-        """Executed transaction digests in ledger order."""
-        return self.ledger.transaction_digests()
-
-    def state_digest(self) -> bytes:
-        """Digest of the executed state."""
-        return self.execution.state_digest()
+        return self.mempool.take_batch(self.config.batch_size, shard=0, allow_empty=allow_empty)
 
 
 __all__ = ["BftConfig", "BftReplicaBase"]

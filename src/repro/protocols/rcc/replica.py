@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.ledger.execution import make_noop_transaction
 from repro.net.message import Message
@@ -57,8 +57,6 @@ class RccReplica(BftReplicaBase):
             client_node_offset=client_node_offset,
         )
         self.num_instances = config.num_instances
-        self._instance_pending: Dict[int, List[bytes]] = {i: [] for i in range(self.num_instances)}
-        self._noop_positions: Dict[int, Tuple[int, int]] = {}
         self._complaints: Dict[Tuple[int, int], Set[int]] = {}
         self._backoff_rounds: Dict[int, int] = {i: 0 for i in range(self.num_instances)}
         self._backoff_until_sequence: Dict[int, int] = {i: -1 for i in range(self.num_instances)}
@@ -84,14 +82,9 @@ class RccReplica(BftReplicaBase):
     # request routing
     # ------------------------------------------------------------------
 
-    def submit_transaction(self, transaction: Transaction) -> None:
+    def _assign_shard(self, transaction: Transaction) -> int:
         """Route the request to the instance responsible for its digest."""
-        digest = transaction.digest()
-        already_known = digest in self._request_pool
-        super().submit_transaction(transaction)
-        if not already_known and digest in self._request_pool:
-            instance_id = transaction.instance_assignment(self.num_instances)
-            self._instance_pending[instance_id].append(digest)
+        return transaction.instance_assignment(self.num_instances)
 
     def on_request_arrival(self) -> None:
         """Primaries propose; backups arm the per-instance failure timer."""
@@ -102,20 +95,10 @@ class RccReplica(BftReplicaBase):
                 core.arm_progress_timer()
 
     def _next_instance_batch(self, instance_id: int) -> Optional[Tuple[bytes, ...]]:
-        queue = self._instance_pending[instance_id]
-        batch: List[bytes] = []
-        while queue and len(batch) < self.config.batch_size:
-            digest = queue.pop(0)
-            if digest in self._executed_digests or digest in self._proposed_digests:
-                continue
-            batch.append(digest)
-        if not batch:
-            core = self.cores[instance_id]
-            noop = make_noop_transaction(instance_id, core.next_sequence)
-            self._request_pool[noop.digest()] = noop
-            batch = [noop.digest()]
-        self._proposed_digests.update(batch)
-        return tuple(batch)
+        core = self.cores[instance_id]
+        return self.take_batch_or_noop(
+            instance_id, lambda: make_noop_transaction(instance_id, core.next_sequence)
+        )
 
     def resolve_noop(self, digest: bytes, position: int) -> Optional[Transaction]:
         """Reconstruct the deterministic no-op proposed for ``position``."""

@@ -1,0 +1,15 @@
+"""Unified replica runtime shared by SpotLess and all baseline replicas.
+
+The layer mirrors the paper's fabric: protocols differ only in consensus
+logic, while the request pool (:class:`Mempool`), in-order execution and
+client Informs (:class:`ExecutionPipeline`), quorum arithmetic
+(:class:`QuorumParams`) and the replica actor scaffolding
+(:class:`ReplicaRuntime`) are one implementation used by every stack.
+"""
+
+from repro.runtime.mempool import AdmitResult, Mempool
+from repro.runtime.pipeline import ExecutionPipeline
+from repro.runtime.quorum import QuorumParams
+from repro.runtime.replica import ReplicaRuntime
+
+__all__ = ["AdmitResult", "ExecutionPipeline", "Mempool", "QuorumParams", "ReplicaRuntime"]

@@ -1,0 +1,182 @@
+"""The shared request pool (mempool) of a replica.
+
+One :class:`Mempool` backs every protocol stack: it stores request payloads
+(ResilientDB disseminates payloads ahead of consensus, so every replica holds
+them), keeps per-instance FIFO queues of digests awaiting proposal, and
+tracks which digests have been proposed or executed.
+
+The queues are :class:`collections.deque`\\ s and every membership check goes
+through a set, so the hot-path operations — admit, take-batch, requeue — are
+all O(1) per digest.  The previous implementations used plain lists with
+``pop(0)``/``insert(0)`` and list scans, which degrade to O(n) per request
+once queues grow under load.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from enum import Enum
+from typing import Deque, Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.workload.requests import Transaction
+
+
+class AdmitResult(Enum):
+    """Outcome of :meth:`Mempool.admit`."""
+
+    NEW = "new"
+    DUPLICATE = "duplicate"
+    EXECUTED = "executed"
+
+
+class Mempool:
+    """Deque-based FIFO request pool with O(1) membership and dedup.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of per-instance queues.  Multi-instance protocols (SpotLess,
+        RCC) shard requests across instances; single-instance protocols use
+        the default single shard 0.
+    """
+
+    def __init__(self, num_shards: int = 1) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+        self._payloads: Dict[bytes, Transaction] = {}
+        self._queues: Dict[int, Deque[bytes]] = {shard: deque() for shard in range(num_shards)}
+        self._queued: Set[bytes] = set()
+        self._proposed: Set[bytes] = set()
+        self._executed: Set[bytes] = set()
+
+    # ------------------------------------------------------------------
+    # payload store
+    # ------------------------------------------------------------------
+
+    def get(self, digest: bytes) -> Optional[Transaction]:
+        """Payload of ``digest``, or None when it is not locally known."""
+        return self._payloads.get(digest)
+
+    def __contains__(self, digest: bytes) -> bool:
+        return digest in self._payloads
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def register_payload(self, transaction: Transaction) -> bytes:
+        """Store a payload without queueing it (reconstructed no-ops)."""
+        digest = transaction.digest()
+        self._payloads[digest] = transaction
+        return digest
+
+    # ------------------------------------------------------------------
+    # status tracking
+    # ------------------------------------------------------------------
+
+    def mark_proposed(self, digests: Iterable[bytes]) -> None:
+        """Record that ``digests`` were placed into a proposal."""
+        self._proposed.update(digests)
+
+    def mark_executed(self, digest: bytes) -> None:
+        """Record that ``digest`` was executed (it will never re-queue)."""
+        self._executed.add(digest)
+
+    def is_queued(self, digest: bytes) -> bool:
+        """True while ``digest`` sits in some pending queue."""
+        return digest in self._queued
+
+    def is_proposed(self, digest: bytes) -> bool:
+        """True while ``digest`` is part of an outstanding proposal."""
+        return digest in self._proposed
+
+    def is_executed(self, digest: bytes) -> bool:
+        """True once ``digest`` has been executed."""
+        return digest in self._executed
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def admit(self, transaction: Transaction, shard: int = 0) -> AdmitResult:
+        """Accept a client transaction into the pool.
+
+        Executed transactions are ignored.  A retransmission of a known
+        transaction that was proposed but is no longer queued (its proposal
+        ended up on an abandoned branch) is queued again so it is eventually
+        retried; other duplicates are no-ops.
+        """
+        digest = transaction.digest()
+        if digest in self._executed:
+            return AdmitResult.EXECUTED
+        if digest in self._payloads:
+            if digest in self._proposed and digest not in self._queued:
+                self._proposed.discard(digest)
+                self._enqueue(shard, digest)
+            return AdmitResult.DUPLICATE
+        self._payloads[digest] = transaction
+        self._enqueue(shard, digest)
+        return AdmitResult.NEW
+
+    def _enqueue(self, shard: int, digest: bytes) -> None:
+        self._queues[shard].append(digest)
+        self._queued.add(digest)
+
+    # ------------------------------------------------------------------
+    # batching
+    # ------------------------------------------------------------------
+
+    def take_batch(
+        self, batch_size: int, shard: int = 0, allow_empty: bool = False
+    ) -> Optional[Tuple[bytes, ...]]:
+        """Pop up to ``batch_size`` digests from ``shard`` for a proposal.
+
+        Digests that were executed or proposed while queued are skipped
+        lazily.  Returns None when nothing is available, unless
+        ``allow_empty`` asks for an empty batch instead.
+        """
+        queue = self._queues[shard]
+        batch = []
+        while queue and len(batch) < batch_size:
+            digest = queue.popleft()
+            self._queued.discard(digest)
+            if digest in self._executed or digest in self._proposed:
+                continue
+            batch.append(digest)
+        if not batch and not allow_empty:
+            return None
+        self._proposed.update(batch)
+        return tuple(batch)
+
+    def requeue(self, batch: Sequence[bytes], shard: int = 0) -> None:
+        """Return an unused batch to the head of ``shard``'s queue in order."""
+        queue = self._queues[shard]
+        for digest in reversed(list(batch)):
+            self._proposed.discard(digest)
+            queue.appendleft(digest)
+            self._queued.add(digest)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def has_pending(self, shard: int = 0) -> bool:
+        """True while ``shard``'s queue is non-empty."""
+        return bool(self._queues[shard])
+
+    def pending_count(self, shard: Optional[int] = None) -> int:
+        """Queued digests in ``shard``, or across all shards when omitted."""
+        if shard is not None:
+            return len(self._queues[shard])
+        return len(self._queued)
+
+    def pending_per_shard(self) -> Dict[int, int]:
+        """Queued digest count per shard (load-balance introspection)."""
+        return {shard: len(queue) for shard, queue in self._queues.items()}
+
+    def pending_digests(self, shard: int = 0) -> Tuple[bytes, ...]:
+        """Snapshot of ``shard``'s queue in FIFO order."""
+        return tuple(self._queues[shard])
+
+
+__all__ = ["AdmitResult", "Mempool"]

@@ -1,0 +1,60 @@
+"""Quorum arithmetic shared by SpotLess and the baseline protocols.
+
+Every protocol in the fabric derives its fault threshold from the replica
+count the same way (f = ⌊(n − 1)/3⌋), but the agreement quorum differs:
+SpotLess certifies with n − f matching votes while the PBFT-family baselines
+use the classic 2f + 1.  The two coincide when n = 3f + 1 and diverge
+otherwise, so the rule is an explicit part of the parameters rather than a
+property re-derived in every config class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QuorumParams:
+    """Replica-count-derived thresholds of one deployment.
+
+    Attributes
+    ----------
+    n:
+        Number of replicas.
+    f:
+        Tolerated Byzantine faults: ⌊(n − 1)/3⌋.
+    quorum:
+        Agreement quorum (n − f for SpotLess, 2f + 1 for the baselines).
+    weak_quorum:
+        f + 1, guaranteeing at least one non-faulty member.
+    """
+
+    n: int
+    f: int
+    quorum: int
+    weak_quorum: int
+
+    def __post_init__(self) -> None:
+        if self.n < 4:
+            raise ValueError("BFT requires at least n = 4 replicas (n > 3f with f >= 1)")
+        if not self.weak_quorum <= self.quorum <= self.n:
+            raise ValueError("quorum thresholds must satisfy f + 1 <= quorum <= n")
+
+    @staticmethod
+    def spotless(num_replicas: int) -> "QuorumParams":
+        """SpotLess thresholds: the n − f certificate quorum."""
+        f = (num_replicas - 1) // 3
+        return QuorumParams(n=num_replicas, f=f, quorum=num_replicas - f, weak_quorum=f + 1)
+
+    @staticmethod
+    def bft(num_replicas: int) -> "QuorumParams":
+        """Classic PBFT-family thresholds: the 2f + 1 agreement quorum."""
+        f = (num_replicas - 1) // 3
+        return QuorumParams(n=num_replicas, f=f, quorum=2 * f + 1, weak_quorum=f + 1)
+
+    def replica_ids(self) -> range:
+        """All replica identifiers, 0 .. n − 1."""
+        return range(self.n)
+
+
+__all__ = ["QuorumParams"]

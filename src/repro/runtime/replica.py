@@ -1,0 +1,230 @@
+"""The replica runtime shared by SpotLess and every baseline protocol.
+
+The paper implements SpotLess and its baselines inside one fabric: they
+differ only in consensus logic while sharing request pools, batching, the
+execution engine, the ledger, and client Informs.  :class:`ReplicaRuntime`
+is that shared fabric — a simulator actor owning a :class:`Mempool`, an
+:class:`ExecutionPipeline`, the key-value table and the ledger.  Protocol
+classes subclass it and implement the consensus machinery on top.
+
+Protocol hooks
+--------------
+``on_protocol_message``
+    Handle a consensus message (everything that is not a client payload).
+``on_request_arrival``
+    Called when a genuinely new request is queued (primaries may propose).
+``resolve_noop``
+    Reconstruct the protocol's deterministic no-op for an unknown digest.
+``_assign_shard``
+    Mempool shard (consensus instance) responsible for a transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.messages import InformMessage
+from repro.ledger.execution import ExecutionEngine
+from repro.ledger.kvtable import KeyValueTable
+from repro.ledger.ledger import Ledger
+from repro.net.message import Message
+from repro.net.sizes import MessageSizeModel
+from repro.runtime.mempool import AdmitResult, Mempool
+from repro.runtime.pipeline import ExecutionPipeline
+from repro.sim.actor import Actor
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.workload.requests import Transaction
+
+
+class ReplicaRuntime(Actor):
+    """Shared replica machinery: request pool, batching, execution, Informs.
+
+    Parameters
+    ----------
+    node_id:
+        The replica identifier (0 .. n − 1); also its network address.
+    config:
+        Deployment configuration; must expose ``num_replicas``,
+        ``batch_size``, ``quorum`` and ``replica_ids()`` (both
+        :class:`~repro.core.config.SpotLessConfig` and
+        :class:`~repro.protocols.common.BftConfig` do).
+    simulator / network:
+        The simulation substrate.
+    protocol_name:
+        Stamped into block proofs and used by reports.
+    size_model:
+        Wire-size model used to charge bandwidth for each message type.
+    client_node_offset:
+        Network address of client c is ``client_node_offset + c``.
+    num_shards:
+        Mempool shards; defaults to the config's ``num_instances`` (1 for
+        single-instance protocols).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: object,
+        simulator: Simulator,
+        network: Network,
+        *,
+        protocol_name: str = "replica",
+        size_model: Optional[MessageSizeModel] = None,
+        client_node_offset: Optional[int] = None,
+        num_shards: Optional[int] = None,
+    ) -> None:
+        super().__init__(node_id, simulator, network)
+        self.config = config
+        self.protocol_name = protocol_name
+        self.size_model = size_model or MessageSizeModel(batch_size=config.batch_size)
+        self.client_node_offset = (
+            client_node_offset if client_node_offset is not None else config.num_replicas
+        )
+
+        self.table = KeyValueTable()
+        self.ledger = Ledger()
+        self.execution = ExecutionEngine(table=self.table, ledger=self.ledger)
+
+        shards = num_shards if num_shards is not None else getattr(config, "num_instances", 1)
+        self.mempool = Mempool(num_shards=shards)
+        self.pipeline = ExecutionPipeline(
+            mempool=self.mempool,
+            engine=self.execution,
+            protocol_name=protocol_name,
+            quorum=config.quorum,
+            inform=self._inform_client,
+            resolve_noop=self.resolve_noop,
+        )
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    def submit_transaction(self, transaction: Transaction) -> None:
+        """Accept a client transaction into the request pool."""
+        outcome = self.mempool.admit(transaction, self._assign_shard(transaction))
+        if outcome is AdmitResult.NEW:
+            self.on_request_arrival()
+        self._after_submit(outcome)
+
+    def _after_submit(self, outcome: AdmitResult) -> None:
+        """Advance execution after a submission (a payload may unblock it)."""
+        if outcome is not AdmitResult.EXECUTED:
+            self.pipeline.advance()
+
+    def _assign_shard(self, transaction: Transaction) -> int:
+        """Mempool shard responsible for ``transaction`` (default: shard 0)."""
+        return 0
+
+    def on_request_arrival(self) -> None:
+        """Hook: called when a new request is queued (primaries may propose)."""
+
+    def pending_request_count(self) -> int:
+        """Requests queued but not yet proposed by this replica."""
+        return self.mempool.pending_count()
+
+    def take_batch_or_noop(
+        self, shard: int, make_noop: Callable[[], Transaction]
+    ) -> Tuple[bytes, ...]:
+        """Batch for a proposal, falling back to a reconstructible no-op.
+
+        Multi-instance protocols propose a no-op when an instance has no
+        load so execution of the other instances in the round is not
+        blocked (Section 5); the no-op payload is registered locally and
+        peers reconstruct it deterministically.
+        """
+        batch = self.mempool.take_batch(self.config.batch_size, shard=shard)
+        if batch is None:
+            batch = (self.mempool.register_payload(make_noop()),)
+            self.mempool.mark_proposed(batch)
+        return batch
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Hook: start the protocol (arm timers, propose if primary)."""
+
+    def on_message(self, sender: int, payload: object) -> None:
+        """Route deliveries: transactions go to the pool, the rest to the protocol."""
+        if isinstance(payload, Transaction):
+            self.submit_transaction(payload)
+            return
+        self.on_protocol_message(sender, payload)
+
+    def on_protocol_message(self, sender: int, payload: object) -> None:
+        """Handle a consensus message; implemented by protocol subclasses."""
+        raise NotImplementedError
+
+    def other_replicas(self) -> List[int]:
+        """All replica ids except this one."""
+        return [r for r in self.config.replica_ids() if r != self.node_id]
+
+    def broadcast_protocol(self, message: Message, size_bytes: int, include_self: bool = True) -> None:
+        """Broadcast a consensus message to the other replicas (and locally)."""
+        self.broadcast(self.other_replicas(), message, size_bytes)
+        if include_self:
+            self.on_protocol_message(self.node_id, message)
+
+    def _inform_client(self, transaction: Transaction) -> None:
+        inform = InformMessage(
+            replica=self.node_id,
+            client_id=transaction.client_id,
+            transaction_digest=transaction.digest(),
+        )
+        client_node = self.client_node_offset + transaction.client_id
+        if client_node in self.network.node_ids():
+            self.send(client_node, inform, self.size_model.reply_bytes())
+
+    # ------------------------------------------------------------------
+    # decisions and execution
+    # ------------------------------------------------------------------
+
+    def deliver_batch(
+        self,
+        position: int,
+        transaction_digests: Tuple[bytes, ...],
+        view: int = 0,
+        instance: int = 0,
+    ) -> None:
+        """Record that the batch at ``position`` in the global order is decided."""
+        self.pipeline.deliver(position, transaction_digests, view=view, instance=instance)
+
+    def resolve_noop(self, digest: bytes, position: int) -> Optional[Transaction]:
+        """Hook for protocols that propose reconstructible no-op batches."""
+        return None
+
+    @property
+    def executed_transactions(self) -> int:
+        """Executed non-no-op transactions."""
+        return self.pipeline.executed_transactions
+
+    @property
+    def decided_batches(self) -> int:
+        """Batches decided at some position of the global order."""
+        return self.pipeline.decided_batches
+
+    # ------------------------------------------------------------------
+    # introspection used by tests and the cluster harness
+    # ------------------------------------------------------------------
+
+    def decided_positions(self) -> List[int]:
+        """All decided positions (not necessarily contiguous)."""
+        return self.pipeline.decided_positions()
+
+    def committed_map(self) -> Dict[Tuple[int, int], bytes]:
+        """Mapping of decided position to a digest of the decided batch."""
+        return self.pipeline.committed_map()
+
+    def executed_transaction_digests(self) -> List[bytes]:
+        """Executed transaction digests in ledger order."""
+        return self.ledger.transaction_digests()
+
+    def state_digest(self) -> bytes:
+        """Digest of the executed state."""
+        return self.execution.state_digest()
+
+
+__all__ = ["ReplicaRuntime"]

@@ -33,10 +33,20 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
+    owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when it is popped."""
+        """Mark the event so the engine skips it when it is popped.
+
+        Cancelling an event that already fired (or was already cancelled) is
+        a no-op, so stale timer handles are safe to cancel.
+        """
+        if self.cancelled or self.executed:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancelled()
 
 
 class Simulator:
@@ -57,6 +67,7 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._live = 0
         self._max_events = max_events
         self._stopped = False
         self._trace: Optional[Callable[[Event], None]] = None
@@ -73,8 +84,16 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still scheduled (including cancelled ones)."""
+        """Number of live (not executed, not cancelled) scheduled events."""
+        return self._live
+
+    @property
+    def scheduled_events(self) -> int:
+        """Raw queue length, including cancelled events awaiting lazy removal."""
         return len(self._queue)
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
 
     def set_trace(self, hook: Optional[Callable[[Event], None]]) -> None:
         """Install a hook invoked for every executed event (for debugging)."""
@@ -97,8 +116,10 @@ class Simulator:
             seq=next(self._seq),
             callback=callback,
             label=label,
+            owner=self,
         )
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_at(
@@ -120,6 +141,7 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if not event.cancelled:
+                self._live -= 1
                 return event
         return None
 
@@ -140,6 +162,7 @@ class Simulator:
             if until is not None and event.time > until:
                 # Put it back: it belongs to a later run window.
                 heapq.heappush(self._queue, event)
+                self._live += 1
                 break
             if event.time < self._now:
                 raise SimulationError("event queue went backwards in time")
@@ -152,6 +175,7 @@ class Simulator:
                 )
             if self._trace is not None:
                 self._trace(event)
+            event.executed = True
             event.callback()
         if until is not None and self._now < until:
             self._now = until

@@ -55,8 +55,18 @@ class Transaction:
         return (self.client_id, self.sequence, tuple(op.canonical_fields() for op in self.operations))
 
     def digest(self) -> bytes:
-        """Digest identifying this transaction."""
-        return digest_bytes(self.canonical_fields())
+        """Digest identifying this transaction.
+
+        Memoized: the submit/batch/execute paths all re-derive the digest,
+        so each payload is hashed exactly once.  The cache is safe because
+        the dataclass is frozen (and it is not a field, so equality and
+        hashing are unaffected).
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = digest_bytes(self.canonical_fields())
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def is_noop(self) -> bool:
         """True for the no-op filler transactions."""

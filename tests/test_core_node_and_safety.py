@@ -90,7 +90,7 @@ def test_requests_routed_to_instance_matching_digest():
     transaction = Transaction(client_id=9, sequence=1, operations=(Operation.read(5),))
     replica.submit_transaction(transaction)
     expected = transaction.instance_assignment(replica.config.num_instances)
-    assert transaction.digest() in replica._pending[expected]
+    assert transaction.digest() in replica.mempool.pending_digests(expected)
 
 
 def test_duplicate_submission_is_ignored():
@@ -100,7 +100,7 @@ def test_duplicate_submission_is_ignored():
     replica.submit_transaction(transaction)
     replica.submit_transaction(transaction)
     instance = transaction.instance_assignment(replica.config.num_instances)
-    assert replica._pending[instance].count(transaction.digest()) == 1
+    assert replica.mempool.pending_digests(instance).count(transaction.digest()) == 1
 
 
 def test_idle_instances_propose_reconstructible_noops():

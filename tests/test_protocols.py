@@ -211,7 +211,7 @@ def test_rcc_routes_requests_to_instances_and_resolves_noops():
     assert replica.decided_batches > 0
     noop_digest_found = any(
         replica.resolve_noop(digest, position) is not None
-        for position, digests in list(replica._decided.items())[:50]
+        for position, digests in replica.pipeline.decided_items()[:50]
         for digest in digests
     )
     assert noop_digest_found

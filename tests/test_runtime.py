@@ -1,0 +1,250 @@
+"""Tests for the unified runtime layer (mempool, pipeline, quorums).
+
+The final test pins the fixed-seed state digest of every protocol to the
+value the pre-refactor per-protocol implementations produced, so any change
+to the shared runtime that alters replica behaviour is caught immediately.
+"""
+
+import pytest
+
+from repro.bench.cluster import SimulatedCluster
+from repro.ledger.execution import ExecutionEngine
+from repro.ledger.kvtable import KeyValueTable
+from repro.ledger.ledger import Ledger
+from repro.runtime import AdmitResult, ExecutionPipeline, Mempool, QuorumParams
+from repro.workload.requests import Operation, Transaction
+
+
+def make_txn(sequence, client_id=1):
+    return Transaction(
+        client_id=client_id, sequence=sequence, operations=(Operation.write(sequence, b"v"),)
+    )
+
+
+# ---------------------------------------------------------------------------
+# QuorumParams
+# ---------------------------------------------------------------------------
+
+
+def test_quorum_params_spotless_vs_bft():
+    # n = 7 is not of the form 3f + 1, so the two quorum rules diverge.
+    spotless = QuorumParams.spotless(7)
+    bft = QuorumParams.bft(7)
+    assert spotless.f == bft.f == 2
+    assert spotless.quorum == 5
+    assert bft.quorum == 5
+    spotless6 = QuorumParams.spotless(6)
+    bft6 = QuorumParams.bft(6)
+    assert spotless6.quorum == 5  # n - f = 6 - 1
+    assert bft6.quorum == 3  # 2f + 1
+    assert spotless.weak_quorum == bft.weak_quorum == 3
+    assert list(spotless.replica_ids()) == list(range(7))
+
+
+def test_quorum_params_rejects_tiny_clusters():
+    with pytest.raises(ValueError):
+        QuorumParams.bft(3)
+
+
+# ---------------------------------------------------------------------------
+# Mempool
+# ---------------------------------------------------------------------------
+
+
+def test_mempool_fifo_order():
+    pool = Mempool()
+    txns = [make_txn(i) for i in range(5)]
+    for txn in txns:
+        assert pool.admit(txn) is AdmitResult.NEW
+    batch = pool.take_batch(3)
+    assert batch == tuple(t.digest() for t in txns[:3])
+    assert pool.take_batch(10) == tuple(t.digest() for t in txns[3:])
+    assert pool.take_batch(10) is None
+    assert pool.take_batch(10, allow_empty=True) == ()
+
+
+def test_mempool_dedup_and_executed_skip():
+    pool = Mempool()
+    txn = make_txn(0)
+    assert pool.admit(txn) is AdmitResult.NEW
+    assert pool.admit(txn) is AdmitResult.DUPLICATE
+    assert pool.pending_count() == 1
+    pool.mark_executed(txn.digest())
+    assert pool.admit(txn) is AdmitResult.EXECUTED
+    # Executed digests are skipped lazily at batch time.
+    assert pool.take_batch(10) is None
+
+
+def test_mempool_retransmission_requeues_abandoned_proposal():
+    pool = Mempool()
+    txn = make_txn(0)
+    pool.admit(txn)
+    assert pool.take_batch(1) == (txn.digest(),)
+    assert pool.is_proposed(txn.digest())
+    # A retransmission of a proposed-but-unexecuted request queues it again
+    # so a proposal that died on an abandoned branch is eventually retried.
+    assert pool.admit(txn) is AdmitResult.DUPLICATE
+    assert pool.pending_digests() == (txn.digest(),)
+    assert not pool.is_proposed(txn.digest())
+    # While it is queued, further retransmissions are no-ops.
+    pool.admit(txn)
+    assert pool.pending_count() == 1
+
+
+def test_mempool_requeue_restores_head_order():
+    pool = Mempool()
+    txns = [make_txn(i) for i in range(4)]
+    for txn in txns:
+        pool.admit(txn)
+    batch = pool.take_batch(2)
+    pool.requeue(batch)
+    # The requeued batch sits ahead of the untaken digests, in batch order.
+    assert pool.take_batch(10) == tuple(t.digest() for t in txns)
+
+
+def test_mempool_per_shard_isolation():
+    pool = Mempool(num_shards=3)
+    by_shard = {0: make_txn(0), 1: make_txn(1), 2: make_txn(2)}
+    for shard, txn in by_shard.items():
+        pool.admit(txn, shard=shard)
+    assert pool.pending_per_shard() == {0: 1, 1: 1, 2: 1}
+    assert pool.pending_count() == 3
+    assert pool.has_pending(1)
+    assert pool.take_batch(10, shard=1) == (by_shard[1].digest(),)
+    assert not pool.has_pending(1)
+    assert pool.pending_count(shard=0) == 1
+    assert pool.pending_count() == 2
+
+
+def test_mempool_register_payload_does_not_queue():
+    pool = Mempool()
+    txn = make_txn(0)
+    digest = pool.register_payload(txn)
+    assert pool.get(digest) is txn
+    assert digest in pool
+    assert pool.pending_count() == 0
+
+
+# ---------------------------------------------------------------------------
+# ExecutionPipeline
+# ---------------------------------------------------------------------------
+
+
+def make_pipeline(num_shards=1, resolve_noop=None, inform=None):
+    pool = Mempool(num_shards=num_shards)
+    table = KeyValueTable()
+    engine = ExecutionEngine(table=table, ledger=Ledger())
+    pipeline = ExecutionPipeline(
+        mempool=pool,
+        engine=engine,
+        protocol_name="test",
+        quorum=3,
+        inform=inform,
+        resolve_noop=resolve_noop,
+    )
+    return pool, pipeline
+
+
+def test_pipeline_gap_stalls_execution_until_filled():
+    pool, pipeline = make_pipeline()
+    first, second = make_txn(0), make_txn(1)
+    pool.admit(first)
+    pool.admit(second)
+    pipeline.deliver(1, (second.digest(),))
+    assert pipeline.executed_transactions == 0
+    assert pipeline.next_execution_position == 0
+    pipeline.deliver(0, (first.digest(),))
+    assert pipeline.executed_transactions == 2
+    assert pipeline.next_execution_position == 2
+    assert pipeline.decided_positions() == [0, 1]
+
+
+def test_pipeline_missing_payload_stalls_then_resumes():
+    pool, pipeline = make_pipeline()
+    txn = make_txn(0)
+    pipeline.deliver(0, (txn.digest(),))
+    assert pipeline.executed_transactions == 0
+    pool.admit(txn)  # late payload dissemination
+    pipeline.advance()
+    assert pipeline.executed_transactions == 1
+
+
+def test_pipeline_resolves_reconstructible_noops():
+    noop = Transaction(client_id=-1, sequence=0, operations=(Operation.noop(),))
+
+    def resolve(digest, position):
+        return noop if digest == noop.digest() else None
+
+    pool, pipeline = make_pipeline(resolve_noop=resolve)
+    pipeline.deliver(0, (noop.digest(),))
+    # The no-op executes (unblocking later positions) but is not counted or
+    # informed, and its payload is now locally known.
+    assert pipeline.next_execution_position == 1
+    assert pipeline.executed_transactions == 0
+    assert pool.get(noop.digest()) is noop
+
+
+def test_pipeline_informs_clients_once_per_fresh_transaction():
+    informed = []
+    pool, pipeline = make_pipeline(inform=informed.append)
+    txn = make_txn(0)
+    pool.admit(txn)
+    pipeline.deliver(0, (txn.digest(),))
+    # A second decision carrying the same digest does not re-execute it.
+    pipeline.deliver(1, (txn.digest(),))
+    assert informed == [txn]
+    assert pipeline.executed_transactions == 1
+    assert pipeline.decided_batches == 2
+
+
+def test_pipeline_duplicate_position_is_ignored():
+    pool, pipeline = make_pipeline()
+    first, second = make_txn(0), make_txn(1)
+    pool.admit(first)
+    pool.admit(second)
+    pipeline.deliver(0, (first.digest(),))
+    pipeline.deliver(0, (second.digest(),))
+    assert pipeline.decided_batches == 1
+    assert pipeline.decided_items() == [(0, (first.digest(),))]
+
+
+# ---------------------------------------------------------------------------
+# Transaction digest memoization
+# ---------------------------------------------------------------------------
+
+
+def test_transaction_digest_is_memoized():
+    txn = make_txn(0)
+    assert txn.digest() is txn.digest()
+    # Equality and hashing are unaffected by the cached digest.
+    twin = make_txn(0)
+    twin.digest()
+    assert txn == twin and hash(txn) == hash(twin)
+
+
+# ---------------------------------------------------------------------------
+# Cross-protocol behavioural pin: the runtime refactor preserved every
+# protocol's fixed-seed execution (digests recorded from the pre-refactor
+# implementations).
+# ---------------------------------------------------------------------------
+
+GOLDEN_STATE = {
+    "spotless": ("8210f86bffb315451ab841e1cedf0bc36055dda7887d552938142a4c4f178dcd", 392),
+    "pbft": ("ba5344eabfba8c0b66e1b896fc167ac850d297a8062e252c420366286690eccf", 969),
+    "rcc": ("7565334a04636776fd7b427d1953ccc6ac91019d9c47fd67e4be1bb8c95859d4", 868),
+    "hotstuff": ("ce6dd1287feb8a446767a693debc56ee70f78dcaa3761b10218fa7c90383ba32", 411),
+    "narwhal-hs": ("013921b3afb74e8a49e267687e071bfd611da027dd617845449c751ecc8ea97b", 407),
+}
+
+
+@pytest.mark.parametrize("protocol", sorted(GOLDEN_STATE))
+def test_fixed_seed_state_digest_matches_pre_refactor_value(protocol):
+    cluster = SimulatedCluster.for_protocol(
+        protocol, num_replicas=4, batch_size=8, clients=3, outstanding_per_client=4, seed=7
+    )
+    cluster.run(duration=0.4)
+    replica = cluster.replicas[0]
+    digest, executed = GOLDEN_STATE[protocol]
+    assert replica.state_digest().hex() == digest
+    assert replica.executed_transactions == executed
+    cluster.assert_no_divergence()

@@ -144,3 +144,36 @@ def test_drain_cancels_a_batch_of_events():
     sim.drain(events)
     sim.run()
     assert fired == []
+
+
+def test_pending_events_excludes_cancelled_events():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    victim = sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    victim.cancel()
+    assert sim.pending_events == 1
+    # Cancelled events stay queued until lazily removed...
+    assert sim.scheduled_events == 2
+    # ...and double-cancel does not corrupt the live count.
+    victim.cancel()
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.pending_events == 0
+    # Cancelling an event that already fired is a harmless no-op.
+    keep.cancel()
+    assert sim.pending_events == 0
+
+
+def test_pending_events_tracks_window_pushback():
+    sim = Simulator()
+    # A cancelled event heads the queue so the run window cannot break
+    # early: the 5.0 event is actually popped, found beyond the window,
+    # and re-queued — exercising the pushback accounting.
+    head = sim.schedule(1.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    head.cancel()
+    sim.run(until=2.0)
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.pending_events == 0
