@@ -219,11 +219,16 @@ class SimulatedCluster:
         outstanding_per_client: int = 8,
         network_config: Optional[NetworkConfig] = None,
         seed: int = 1,
+        request_timeout: Optional[float] = None,
+        view_change_timeout: Optional[float] = None,
     ) -> "SimulatedCluster":
         """Build a cluster for any implemented protocol by name.
 
         ``protocol`` is one of ``spotless``, ``pbft``, ``rcc``, ``hotstuff``
-        or ``narwhal-hs``.
+        or ``narwhal-hs``.  ``request_timeout`` and ``view_change_timeout``
+        override the baselines' failure-detection timers (the chaos scenarios
+        use aggressive values so short adversarial runs can recover); they
+        are ignored by SpotLess, whose adaptive timers are already small.
         """
         name = protocol.lower()
         if name == "spotless":
@@ -238,10 +243,16 @@ class SimulatedCluster:
             )
         from repro.protocols.common import BftConfig
 
+        timeout_overrides = {}
+        if request_timeout is not None:
+            timeout_overrides["request_timeout"] = request_timeout
+        if view_change_timeout is not None:
+            timeout_overrides["view_change_timeout"] = view_change_timeout
         config = BftConfig(
             num_replicas=num_replicas,
             batch_size=batch_size,
             num_instances=num_instances or (num_replicas if name == "rcc" else 1),
+            **timeout_overrides,
         )
         factories = {
             "pbft": SimulatedCluster.pbft,

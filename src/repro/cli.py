@@ -7,6 +7,8 @@ The CLI exposes the experiment harness without writing any Python::
     python -m repro figure fig7a-scalability --replicas 4 16 32
     python -m repro ablation commit-rule
     python -m repro cluster --protocol spotless --replicas 4 --duration 2
+    python -m repro scenario --matrix smoke
+    python -m repro scenario --protocol rcc --fault A3 --f 1 --duration 0.5
     python -m repro validate
 
 ``figure`` names map one-to-one onto the per-figure experiment functions in
@@ -210,6 +212,63 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        FAULT_KINDS,
+        PROTOCOLS,
+        format_matrix,
+        run_matrix,
+        scenario_matrix,
+        single_fault_spec,
+        smoke_matrix,
+    )
+
+    if args.matrix is not None:
+        # The matrix fixes its own grid; silently ignoring the single-scenario
+        # flags would let `--matrix smoke --f 2` masquerade as an f=2 run.
+        conflicting = [
+            f"--{flag}"
+            for flag, value in (("protocol", args.protocol), ("fault", args.fault), ("f", args.f))
+            if value is not None
+        ]
+        if conflicting:
+            print(
+                f"--matrix selects the whole grid; drop {', '.join(conflicting)}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.matrix == "smoke":
+            specs = smoke_matrix(seed=args.seed, duration=args.duration)
+        else:
+            specs = scenario_matrix(duration=args.duration, seeds=(args.seed,))
+        print(f"scenario matrix {args.matrix!r}: {len(specs)} runs")
+    else:
+        protocol = args.protocol if args.protocol is not None else "spotless"
+        fault = args.fault if args.fault is not None else "A1"
+        f = args.f if args.f is not None else 1
+        if protocol not in PROTOCOLS:
+            known = ", ".join(PROTOCOLS)
+            print(f"unknown protocol {protocol!r}; choose one of: {known}", file=sys.stderr)
+            return 2
+        if fault not in FAULT_KINDS:
+            known = ", ".join(FAULT_KINDS)
+            print(f"unknown fault {fault!r}; choose one of: {known}", file=sys.stderr)
+            return 2
+        specs = [
+            single_fault_spec(protocol, fault, f=f, duration=args.duration, seed=args.seed)
+        ]
+    results = run_matrix(specs)
+    print(format_matrix(results))
+    violations = [v for result in results for v in result.violations]
+    if violations:
+        print(f"\n{len(violations)} invariant violation(s):", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(f"\ninvariant oracle: all {len(results)} scenarios clean")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     points = cross_validate_protocols(num_replicas=args.replicas, duration=args.duration)
     report = validation_report(points)
@@ -254,6 +313,29 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--warmup", type=float, default=0.0)
     cluster_parser.add_argument("--seed", type=int, default=1)
     cluster_parser.set_defaults(handler=_cmd_cluster)
+
+    scenario_parser = subparsers.add_parser(
+        "scenario",
+        help="run adversarial chaos scenarios with the invariant oracle attached",
+    )
+    scenario_parser.add_argument(
+        "--matrix",
+        choices=("smoke", "full"),
+        default=None,
+        help="run a predefined scenario matrix instead of a single scenario",
+    )
+    scenario_parser.add_argument(
+        "--protocol", default=None, help="spotless, pbft, rcc, hotstuff, narwhal-hs (default: spotless)"
+    )
+    scenario_parser.add_argument(
+        "--fault", default=None, help="A1, A2, A3, A4, crash, partition, latency (default: A1)"
+    )
+    scenario_parser.add_argument(
+        "--f", type=int, default=None, help="faulty replicas, cluster size is 3f + 1 (default: 1)"
+    )
+    scenario_parser.add_argument("--duration", type=float, default=0.4, help="simulated seconds per scenario")
+    scenario_parser.add_argument("--seed", type=int, default=1)
+    scenario_parser.set_defaults(handler=_cmd_scenario)
 
     validate_parser = subparsers.add_parser(
         "validate", help="cross-validate the analytical model against the simulator"

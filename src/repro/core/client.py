@@ -66,6 +66,11 @@ class SpotLessClient(Actor):
 
         self.latency = Histogram(f"client-{client_id}-latency")
         self.confirmed_transactions = 0
+        # Off by default: only the scenario runner's inform-durability check
+        # reads the digests, and long benchmark runs should not retain one
+        # digest per confirmed transaction for nothing.
+        self.record_confirmed_digests = False
+        self.confirmed_digests: List[bytes] = []
         self.retransmissions = 0
         self._pending: Dict[bytes, _PendingRequest] = {}
         self._request_size_bytes = 160
@@ -119,6 +124,8 @@ class SpotLessClient(Actor):
         if len(request.responders) >= self.config.weak_quorum:
             request.confirmed = True
             self.confirmed_transactions += 1
+            if self.record_confirmed_digests:
+                self.confirmed_digests.append(payload.transaction_digest)
             self.latency.observe(self.now - request.submitted_at)
             del self._pending[payload.transaction_digest]
             self._submit_new_transaction()

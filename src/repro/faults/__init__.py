@@ -14,6 +14,7 @@ from repro.faults.attacks import (
     NonResponsiveAttack,
     VoteWithholdingAttack,
     attack_by_name,
+    conflicting_digest,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "NonResponsiveAttack",
     "VoteWithholdingAttack",
     "attack_by_name",
+    "conflicting_digest",
 ]

@@ -15,10 +15,11 @@ faulty replica's outgoing messages:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence, Set
 
-from repro.core.messages import ProposeMessage, SyncMessage
+from repro.core.messages import Claim, ProposeMessage, SyncMessage
+from repro.crypto.digest import digest_bytes
 from repro.protocols.hotstuff.messages import HsProposal, HsVote
 from repro.protocols.pbft.messages import PrepareMessage, PrePrepareMessage, CommitMessage
 
@@ -28,6 +29,22 @@ def _protocol_message(payload: object) -> object:
     if isinstance(payload, tuple) and len(payload) == 2:
         return payload[1]
     return payload
+
+
+def _rewrap(payload: object, message: object) -> object:
+    """Re-wrap a rewritten message in the payload's original envelope."""
+    if isinstance(payload, tuple) and len(payload) == 2:
+        return (payload[0], message)
+    return message
+
+
+def conflicting_digest(digest: bytes) -> bytes:
+    """Deterministic digest of a phantom value an equivocator claims instead.
+
+    Deriving it from the honest digest keeps runs reproducible and guarantees
+    the conflict: no honest replica ever proposes a batch with this digest.
+    """
+    return digest_bytes(("equivocation", digest))
 
 
 @dataclass
@@ -42,8 +59,21 @@ class AttackScenario:
         """Network-level drop decision for a message in flight."""
         return False
 
+    def rewrite(self, sender: int, receiver: int, payload: object) -> Optional[object]:
+        """Network-level payload substitution (None keeps the payload).
+
+        Only scenarios that equivocate override this; the injector installs
+        the hook on the network exclusively when it is overridden.
+        """
+        return None
+
     def configure(self, replicas: Sequence[object]) -> None:
         """Hook for scenarios that need to alter replica behaviour directly."""
+
+    @property
+    def rewrites(self) -> bool:
+        """True when this scenario substitutes payloads in flight."""
+        return type(self).rewrite is not AttackScenario.rewrite
 
 
 @dataclass
@@ -78,21 +108,37 @@ class DarknessAttack(AttackScenario):
 class EquivocationAttack(AttackScenario):
     """A3: attackers send conflicting votes to different halves of the replicas.
 
-    In the simulator the observable effect of equivocation on non-faulty
-    replicas is that the attacker's votes are useless for reaching agreement:
-    votes sent to the ``victims`` group claim a different value, which we
-    model by dropping the attacker's votes toward the non-victim group and
-    corrupting none (safety must hold regardless, which the tests check).
+    Votes toward the ``victims`` group are substituted in flight with a vote
+    for a phantom conflicting value (:func:`conflicting_digest`), while the
+    rest of the replicas receive the honest vote — the attacker genuinely
+    says two different things about the same view/slot.  Safety must hold
+    regardless: the phantom value can gather at most f votes (one per
+    attacker), which stays below every quorum, and the invariant oracle
+    verifies no divergence occurs.
     """
 
     name: str = "A3"
 
-    def should_drop(self, sender: int, receiver: int, payload: object) -> bool:
-        if sender not in self.attackers:
-            return False
+    def rewrite(self, sender: int, receiver: int, payload: object) -> Optional[object]:
+        if sender not in self.attackers or receiver not in self.victims:
+            return None
         message = _protocol_message(payload)
-        is_vote = isinstance(message, (SyncMessage, PrepareMessage, CommitMessage, HsVote))
-        return is_vote and receiver not in self.victims
+        if isinstance(message, SyncMessage) and not message.claim.is_failure:
+            claim = Claim(
+                view=message.claim.view,
+                digest=conflicting_digest(message.claim.digest),
+                primary_signature=None,
+            )
+            return _rewrap(payload, replace(message, claim=claim))
+        if isinstance(message, (PrepareMessage, CommitMessage)):
+            return _rewrap(
+                payload, replace(message, batch_digest=conflicting_digest(message.batch_digest))
+            )
+        if isinstance(message, HsVote):
+            return _rewrap(
+                payload, replace(message, node_digest=conflicting_digest(message.node_digest))
+            )
+        return None
 
 
 @dataclass
@@ -135,4 +181,5 @@ __all__ = [
     "NonResponsiveAttack",
     "VoteWithholdingAttack",
     "attack_by_name",
+    "conflicting_digest",
 ]

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.faults.attacks import AttackScenario, NonResponsiveAttack
-from repro.sim.network import Network, Partition
+from repro.sim.network import CompositePartition, Network, Partition
 
 
 @dataclass(frozen=True)
@@ -15,8 +15,10 @@ class FaultSchedule:
 
     ``at`` is the simulated time at which the fault takes effect; ``until``
     (optional) is when it heals.  ``kind`` selects the fault: ``crash`` marks
-    replicas down, ``attack`` installs an :class:`AttackScenario` drop rule,
-    ``partition`` splits the network into the given groups.
+    replicas down, ``attack`` installs an :class:`AttackScenario` drop (and,
+    for equivocating scenarios, rewrite) rule, ``partition`` splits the
+    network into the given groups, and ``latency`` multiplies the base link
+    delay and jitter by ``factor`` (a degraded-network window).
     """
 
     at: float
@@ -25,6 +27,7 @@ class FaultSchedule:
     scenario: Optional[AttackScenario] = None
     groups: tuple = ()
     until: Optional[float] = None
+    factor: float = 1.0
 
 
 class FaultInjector:
@@ -39,11 +42,23 @@ class FaultInjector:
         self.cluster = cluster
         self.network: Network = cluster.network
         self.applied: List[FaultSchedule] = []
+        self.healed: List[FaultSchedule] = []
+        self._latency_factor = 1.0
+        self._latency_baseline: Optional[tuple] = None
+        # Overlapping windows must compose: down-marks are refcounted and
+        # active partitions stacked, so healing one window removes only its
+        # own contribution.
+        self._down_counts: Dict[int, int] = {}
+        self._active_partitions: List[Partition] = []
 
     # ------------------------------------------------------------------
 
     def schedule(self, fault: FaultSchedule) -> None:
         """Install one fault schedule."""
+        if fault.until is not None and fault.until <= fault.at:
+            # A reversed window would heal before it applies and then stick
+            # forever (the apply's refcount is never balanced).
+            raise ValueError(f"fault heals at {fault.until} before it starts at {fault.at}")
         self.cluster.simulator.schedule(
             max(0.0, fault.at - self.cluster.simulator.now),
             lambda: self._apply(fault),
@@ -69,35 +84,121 @@ class FaultInjector:
         frozen = tuple(frozenset(group) for group in groups)
         self.schedule(FaultSchedule(at=at, kind="partition", groups=frozen, until=until))
 
+    def degrade_latency(self, factor: float, at: float, until: Optional[float] = None) -> None:
+        """Multiply base link delay and jitter by ``factor`` during the window."""
+        if factor <= 0:
+            raise ValueError("latency factor must be positive")
+        self.schedule(FaultSchedule(at=at, kind="latency", factor=factor, until=until))
+
     # ------------------------------------------------------------------
+
+    def _mark_down(self, replica: int) -> None:
+        """Refcounted down-mark: the node goes down on the first active window."""
+        count = self._down_counts.get(replica, 0)
+        self._down_counts[replica] = count + 1
+        if count == 0:
+            self.network.set_node_down(replica, True)
+
+    def _mark_up(self, replica: int) -> None:
+        """Refcounted up-mark: the node revives when its last window heals."""
+        count = self._down_counts.get(replica, 0) - 1
+        if count <= 0:
+            self._down_counts.pop(replica, None)
+            self.network.set_node_down(replica, False)
+        else:
+            self._down_counts[replica] = count
+
+    def _install_partitions(self) -> None:
+        """Reinstall the composite of all currently active partition windows."""
+        if not self._active_partitions:
+            self.network.set_partition(None)
+        elif len(self._active_partitions) == 1:
+            self.network.set_partition(self._active_partitions[0])
+        else:
+            self.network.set_partition(CompositePartition(tuple(self._active_partitions)))
 
     def _apply(self, fault: FaultSchedule) -> None:
         self.applied.append(fault)
         if fault.kind == "crash":
             for replica in fault.replicas:
-                self.network.set_node_down(replica, True)
+                self._mark_down(replica)
         elif fault.kind == "attack" and fault.scenario is not None:
             if isinstance(fault.scenario, NonResponsiveAttack):
                 for replica in fault.scenario.attackers:
-                    self.network.set_node_down(replica, True)
+                    self._mark_down(replica)
             else:
                 self.network.add_drop_rule(fault.scenario.should_drop)
+                if fault.scenario.rewrites:
+                    self.network.add_rewrite_rule(fault.scenario.rewrite)
                 fault.scenario.configure(self.cluster.replicas)
         elif fault.kind == "partition":
-            self.network.set_partition(Partition(groups=fault.groups))
+            self._active_partitions.append(Partition(groups=fault.groups))
+            self._install_partitions()
+        elif fault.kind == "latency":
+            self._latency_factor *= fault.factor
+            self._scale_latency_from_baseline()
+
+    def _scale_latency_from_baseline(self) -> None:
+        """Apply the combined latency factor to the pristine link delays.
+
+        Recomputing from a snapshot (instead of multiplying the live values)
+        keeps overlapping windows exact: when every window has healed the
+        factor is back to 1.0 and the config returns to its original values
+        with no floating-point drift.  Topology-based configs scale their
+        intra/inter-region delays, since ``link()`` ignores ``base_delay``
+        when a topology is set.
+        """
+        config = self.network.config
+        topology = config.topology
+        if self._latency_baseline is None:
+            self._latency_baseline = (
+                config.base_delay,
+                config.jitter,
+                topology.intra_delay if topology else None,
+                topology.inter_delay if topology else None,
+            )
+        base_delay, jitter, intra, inter = self._latency_baseline
+        factor = self._latency_factor
+        config.base_delay = base_delay * factor
+        config.jitter = jitter * factor
+        if topology is not None and intra is not None:
+            topology.intra_delay = intra * factor
+            topology.inter_delay = inter * factor
+
+    def restore_latency_baseline(self) -> None:
+        """Reset link delays to their pristine values.
+
+        A latency window that never heals inside the run leaves the shared
+        ``NetworkConfig``/``RegionTopology`` scaled; callers that reuse the
+        config across clusters (or end a run mid-window) call this teardown.
+        """
+        self._latency_factor = 1.0
+        if self._latency_baseline is not None:
+            self._scale_latency_from_baseline()
 
     def _heal(self, fault: FaultSchedule) -> None:
+        self.healed.append(fault)
         if fault.kind == "crash":
             for replica in fault.replicas:
-                self.network.set_node_down(replica, False)
+                self._mark_up(replica)
         elif fault.kind == "attack" and fault.scenario is not None:
             if isinstance(fault.scenario, NonResponsiveAttack):
                 for replica in fault.scenario.attackers:
-                    self.network.set_node_down(replica, False)
+                    self._mark_up(replica)
             else:
-                self.network.clear_drop_rules()
+                # Remove only this scenario's own rules: clearing every rule
+                # would heal concurrently running attack windows early.
+                self.network.remove_drop_rule(fault.scenario.should_drop)
+                if fault.scenario.rewrites:
+                    self.network.remove_rewrite_rule(fault.scenario.rewrite)
         elif fault.kind == "partition":
-            self.network.set_partition(None)
+            installed = Partition(groups=fault.groups)
+            if installed in self._active_partitions:
+                self._active_partitions.remove(installed)
+            self._install_partitions()
+        elif fault.kind == "latency":
+            self._latency_factor /= fault.factor
+            self._scale_latency_from_baseline()
 
 
 __all__ = ["FaultInjector", "FaultSchedule"]

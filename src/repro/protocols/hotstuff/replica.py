@@ -137,7 +137,13 @@ class HotStuffReplica(BftReplicaBase):
     def _propose(self, view: int) -> None:
         if view in self._proposed_in_view or not self.is_leader(view):
             return
-        parent = self.nodes[self.high_qc.node_digest]
+        parent = self.nodes.get(self.high_qc.node_digest)
+        if parent is None:
+            # A vote quorum can certify a node this replica never received
+            # (e.g. an A2 attacker withheld the proposal from us).  We cannot
+            # extend an unknown node; the pacemaker will move the view on and
+            # a later proposal's justify chain back-fills the gap.
+            return
         batch = self.take_batch(allow_empty=True) or ()
         digest = digest_bytes(("hs-node", view, parent.digest, tuple(batch)))
         proposal = HsProposal(
@@ -297,6 +303,12 @@ class HotStuffReplica(BftReplicaBase):
         while current is not None and not current.committed:
             chain.append(current)
             current = self.nodes.get(current.parent_digest) if current.parent_digest else None
+        if current is None:
+            # The chain does not connect to our committed prefix: some
+            # ancestor was never received (e.g. while down or partitioned).
+            # Committing the dangling suffix would assign it wrong positions
+            # and fork execution, so wait until the gap is back-filled.
+            return
         for member in reversed(chain):
             member.committed = True
             self._committed_height += 1

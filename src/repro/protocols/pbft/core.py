@@ -10,7 +10,7 @@ flight — and the view-change protocol for replacing an unresponsive primary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.protocols.common import BftConfig
 from repro.protocols.pbft.messages import (
@@ -40,14 +40,21 @@ class PbftEnvironment:
 
 @dataclass
 class SlotState:
-    """Consensus state of one sequence slot."""
+    """Consensus state of one sequence slot.
+
+    ``prepares``/``commits`` map each voter to the batch digest it voted
+    for: quorums are counted per digest, so an equivocating vote for a
+    conflicting value (the A3 attack) can never be credited toward the
+    honest batch — even when it arrives before the PrePrepare fixes the
+    slot's digest.
+    """
 
     sequence: int
     view: int
     digests: Optional[Tuple[bytes, ...]] = None
     batch_digest: Optional[bytes] = None
-    prepares: Set[int] = field(default_factory=set)
-    commits: Set[int] = field(default_factory=set)
+    prepares: Dict[int, bytes] = field(default_factory=dict)
+    commits: Dict[int, bytes] = field(default_factory=dict)
     prepared: bool = False
     committed: bool = False
     commit_sent: bool = False
@@ -69,11 +76,13 @@ class PbftInstanceCore:
         self.view = 0
         self.next_sequence = 0
         self.last_decided_sequence = -1
+        self.decided_frontier = -1  # highest sequence with a contiguous decided prefix
         self.slots: Dict[int, SlotState] = {}
         self.active = True
         self.started = False
 
         self._view_change_votes: Dict[int, Dict[int, ViewChangeMessage]] = {}
+        self._future_messages: List[Tuple[int, object]] = []
         self._progress_timer: Optional[object] = None
         self._progress_deadline_armed = False
 
@@ -140,14 +149,37 @@ class PbftInstanceCore:
 
     def _slot(self, sequence: int, view: int) -> SlotState:
         slot = self.slots.get(sequence)
-        if slot is None or slot.view < view:
+        # A committed slot is immutable: a later-view message for it must not
+        # wipe the decided state (it could then be re-decided differently).
+        if slot is None or (slot.view < view and not slot.committed):
             slot = SlotState(sequence=sequence, view=view)
             self.slots[sequence] = slot
         return slot
 
+    def _buffer_future(self, sender: int, message: object) -> bool:
+        """Hold messages from views we have not entered yet.
+
+        A new primary pipelines PrePrepares right behind its NewView, and
+        per-link jitter can deliver them first; dropping them would leave
+        permanent holes in the slot space, so they are replayed once the
+        view advances.
+        """
+        if getattr(message, "view", self.view) <= self.view:
+            return False
+        self._future_messages.append((sender, message))
+        return True
+
+    def _replay_future_messages(self) -> None:
+        ready = [(s, m) for s, m in self._future_messages if m.view <= self.view]
+        self._future_messages = [(s, m) for s, m in self._future_messages if m.view > self.view]
+        for sender, message in ready:
+            self.on_message(sender, message)
+
     def on_preprepare(self, sender: int, message: PrePrepareMessage) -> None:
         """Handle the primary's proposal for a slot."""
         if not self.active or message.instance != self.instance_id:
+            return
+        if self._buffer_future(sender, message):
             return
         if message.view != self.view or sender != self.primary_of(message.view):
             return
@@ -169,19 +201,24 @@ class PbftInstanceCore:
 
     def on_prepare(self, sender: int, message: PrepareMessage) -> None:
         """Handle a Prepare vote."""
-        if not self.active or message.instance != self.instance_id or message.view != self.view:
+        if not self.active or message.instance != self.instance_id:
+            return
+        if self._buffer_future(sender, message):
+            return
+        if message.view != self.view:
             return
         slot = self._slot(message.sequence, message.view)
-        if slot.batch_digest is not None and slot.batch_digest != message.batch_digest:
-            return
-        slot.prepares.add(sender)
+        slot.prepares[sender] = message.batch_digest
         self._check_prepared(slot)
 
     def _check_prepared(self, slot: SlotState) -> None:
         if slot.prepared or slot.digests is None:
             return
-        # The PrePrepare counts as the primary's Prepare.
-        votes = set(slot.prepares)
+        # The PrePrepare counts as the primary's Prepare; only votes for this
+        # slot's digest count toward the quorum.
+        votes = {
+            sender for sender, digest in slot.prepares.items() if digest == slot.batch_digest
+        }
         votes.add(self.primary_of(slot.view))
         if len(votes) < self.quorum:
             return
@@ -199,20 +236,26 @@ class PbftInstanceCore:
         """Handle a Commit vote; decide the slot at 2f + 1 votes."""
         if not self.active or message.instance != self.instance_id:
             return
-        slot = self._slot(message.sequence, message.view)
-        if slot.batch_digest is not None and slot.batch_digest != message.batch_digest:
+        if self._buffer_future(sender, message):
             return
-        slot.commits.add(sender)
+        slot = self._slot(message.sequence, message.view)
+        slot.commits[sender] = message.batch_digest
         self._check_committed(slot)
 
     def _check_committed(self, slot: SlotState) -> None:
         if slot.committed or not slot.prepared or slot.digests is None:
             return
-        if len(slot.commits) < self.quorum:
+        matching = sum(1 for digest in slot.commits.values() if digest == slot.batch_digest)
+        if matching < self.quorum:
             return
         slot.committed = True
         self.decided_batches += 1
         self.last_decided_sequence = max(self.last_decided_sequence, slot.sequence)
+        while True:
+            following = self.slots.get(self.decided_frontier + 1)
+            if following is None or not following.committed:
+                break
+            self.decided_frontier += 1
         self.env.on_decide(self.instance_id, slot.sequence, slot.view, slot.digests)
         self.try_propose()
 
@@ -249,18 +292,35 @@ class PbftInstanceCore:
         self.request_view_change(self.view + 1)
 
     def request_view_change(self, new_view: int) -> None:
-        """Broadcast a ViewChange message for ``new_view``."""
+        """Broadcast a ViewChange message for ``new_view``.
+
+        The vote reports the *contiguous* decided prefix (a decided ``max``
+        would hide holes) and carries the content of **every** slot this
+        replica knows content for — committed, prepared, or merely received.
+        There are no stable checkpoints in this implementation, so — exactly
+        as in textbook PBFT with a genesis checkpoint — the certificates
+        since genesis must travel with the vote: a slot this replica
+        committed may be missing entirely on a quorum member that was down
+        or partitioned, and only the re-proposal's digests let it re-quorum
+        and execute it.  Merely-received content must travel too, because
+        ``on_new_view`` rebuilds re-proposed slots with ``prepared=False``:
+        restricting votes to currently-prepared slots would forget the old
+        certificate between two rapid view changes, and a slot committed
+        somewhere could then be filled with a no-op (committing anywhere
+        needs 2f + 1 commit-senders, each of which held the content — so a
+        content-bearing vote always survives into any later quorum).
+        """
         if new_view <= self.view and self.started:
             new_view = self.view + 1
         prepared_slots = tuple(
             (slot.sequence, slot.view, slot.digests)
             for slot in self.slots.values()
-            if slot.prepared and not slot.committed and slot.digests is not None
+            if slot.digests is not None
         )
         message = ViewChangeMessage(
             instance=self.instance_id,
             new_view=new_view,
-            last_executed=self.last_decided_sequence,
+            last_executed=self.decided_frontier,
             prepared_slots=prepared_slots,
         )
         self.env.broadcast(message)
@@ -275,11 +335,41 @@ class PbftInstanceCore:
             return
         if self.primary_of(message.new_view) != self.env.replica_id:
             return
-        # Re-propose every slot prepared by any member of the quorum.
-        reproposals: Dict[int, Tuple[bytes, ...]] = {}
+        # Re-propose every slot prepared by any member of the quorum, taking
+        # the highest-view certificate per slot (PBFT's selection rule): an
+        # older-view preparation may have been superseded by content that
+        # some replica already committed.
+        best: Dict[int, Tuple[int, Tuple[bytes, ...]]] = {}
         for vote in votes.values():
-            for sequence, _view, digests in vote.prepared_slots:
-                reproposals.setdefault(sequence, digests)
+            for sequence, view, digests in vote.prepared_slots:
+                current = best.get(sequence)
+                if current is None or view > current[0]:
+                    best[sequence] = (view, digests)
+        # Merge the primary's own slot store: it may have learned or decided
+        # content after broadcasting its vote, and that content must not
+        # vanish from the new view's re-proposals.
+        for slot in self.slots.values():
+            if slot.digests is not None:
+                current = best.get(slot.sequence)
+                if current is None or slot.view > current[0]:
+                    best[slot.sequence] = (slot.view, slot.digests)
+        reproposals: Dict[int, Tuple[bytes, ...]] = {
+            sequence: digests for sequence, (_view, digests) in best.items()
+        }
+        # Fill the remaining holes with no-ops (PBFT's null requests): slots
+        # nobody has content for would otherwise clog the pipeline window
+        # forever and stall the global order.  The no-op fill is safe
+        # because votes carry their full content history: a slot committed
+        # anywhere had its content at 2f + 1 replicas, so every view-change
+        # quorum contains at least one vote carrying it — only slots whose
+        # content no quorum member ever received are filled with a no-op.
+        floor = max(
+            [self.decided_frontier] + [vote.last_executed for vote in votes.values()]
+        )
+        known = [s.sequence for s in self.slots.values() if s.digests is not None]
+        top = max([floor] + list(reproposals) + known)
+        for sequence in range(floor + 1, top + 1):
+            reproposals.setdefault(sequence, NOOP_BATCH)
         new_view_message = NewViewMessage(
             instance=self.instance_id,
             new_view=message.new_view,
@@ -303,12 +393,30 @@ class PbftInstanceCore:
         for sequence, digests in message.reproposals:
             slot = self._slot(sequence, self.view)
             if slot.committed:
+                # Already decided here, but some quorum members may not be:
+                # re-affirm with a Prepare and a Commit in the new view so a
+                # lagging replica can still assemble both quorums.
+                self.env.broadcast(
+                    PrepareMessage(
+                        instance=self.instance_id,
+                        view=self.view,
+                        sequence=sequence,
+                        batch_digest=slot.batch_digest or b"",
+                    )
+                )
+                self.env.broadcast(
+                    CommitMessage(
+                        instance=self.instance_id,
+                        view=self.view,
+                        sequence=sequence,
+                        batch_digest=slot.batch_digest or b"",
+                    )
+                )
                 continue
+            # _slot() returned a freshly rebuilt SlotState for this view (only
+            # committed slots survive a view bump), so votes start empty.
             slot.digests = digests
             slot.batch_digest = b"".join(digests)
-            slot.prepares.clear()
-            slot.commits.clear()
-            slot.prepared = False
             prepare = PrepareMessage(
                 instance=self.instance_id,
                 view=self.view,
@@ -321,6 +429,7 @@ class PbftInstanceCore:
             existing = max(self.slots.keys(), default=-1)
             self.next_sequence = max(self.next_sequence, existing + 1)
             self.try_propose()
+        self._replay_future_messages()
 
     # ------------------------------------------------------------------
     # dispatch helper

@@ -1,0 +1,295 @@
+"""Always-on consensus invariant oracle.
+
+The oracle watches a :class:`~repro.bench.cluster.SimulatedCluster` while a
+fault script plays out and records every violation of the guarantees the
+paper's protocols must keep even under attack:
+
+* **agreement** — no two replicas decide different proposals for the same
+  consensus slot;
+* **no-fork** — the executed transaction sequences of any two replicas are
+  prefixes of one another (replicas may lag, but never diverge);
+* **monotonic frontier** — a replica's executed prefix only ever grows;
+* **inform durability** — every transaction a client confirmed (after f + 1
+  matching Informs) was durably executed by at least a weak quorum of
+  replicas;
+* **windowed liveness** — once every fault in the script has healed, the
+  cluster resumes executing new transactions before the run ends.
+
+Checks run continuously: the oracle schedules itself on the cluster's
+simulator every ``check_interval`` simulated seconds, so a transient
+violation in the middle of an attack window is caught even if the end state
+looks clean.  Violations are recorded, not raised, so one run reports every
+broken invariant at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed violation of a consensus invariant."""
+
+    invariant: str
+    time: float
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.invariant} @ {self.time:.3f}s] {self.detail}"
+
+
+@dataclass(frozen=True)
+class ProgressSample:
+    """Execution progress observed at one oracle tick."""
+
+    time: float
+    executed_max: int
+    confirmed_total: int
+    executed_per_replica: Tuple[int, ...] = ()
+
+
+class InvariantOracle:
+    """Continuously checks safety and liveness invariants of a cluster run.
+
+    ``strict_liveness`` additionally turns post-heal *stragglers* — replicas
+    that individually make no execution progress after every fault healed —
+    into violations.  The default only records them (``self.stragglers``):
+    none of the implemented protocols ships a state-transfer/catch-up path
+    yet, so a replica that missed decisions while down or partitioned wedges
+    behind the cluster even though the cluster as a whole stays live (see the
+    ROADMAP open item).
+    """
+
+    def __init__(
+        self, cluster, check_interval: float = 0.05, strict_liveness: bool = False
+    ) -> None:
+        self.cluster = cluster
+        self.check_interval = check_interval
+        self.strict_liveness = strict_liveness
+        self.violations: List[InvariantViolation] = []
+        self.samples: List[ProgressSample] = []
+        self.stragglers: Tuple[int, ...] = ()
+        self.checks_run = 0
+        self._frontiers: Dict[int, int] = {}
+        self._end_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def arm(self, duration: float) -> None:
+        """Schedule periodic checks over the next ``duration`` simulated seconds."""
+        self._end_time = self.cluster.simulator.now + duration
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self._end_time is None or self.cluster.simulator.now >= self._end_time:
+            return
+        delay = min(self.check_interval, self._end_time - self.cluster.simulator.now)
+        self.cluster.simulator.schedule(delay, self._tick, label="oracle:tick")
+
+    def _tick(self) -> None:
+        self.check_now()
+        self._schedule_next()
+
+    # ------------------------------------------------------------------
+    # continuous checks
+    # ------------------------------------------------------------------
+
+    def check_now(self) -> None:
+        """Run the safety checks against the cluster's current state."""
+        self.checks_run += 1
+        self._check_agreement()
+        self._check_no_fork()
+        self._check_monotonic_frontier()
+        self._sample_progress()
+
+    def _record(self, invariant: str, detail: str) -> None:
+        # A persistent violation (e.g. a fork) re-triggers on every tick;
+        # record each distinct defect once, not once per check.
+        if any(v.invariant == invariant and v.detail == detail for v in self.violations):
+            return
+        self.violations.append(
+            InvariantViolation(invariant=invariant, time=self.cluster.simulator.now, detail=detail)
+        )
+
+    def _check_agreement(self) -> None:
+        """No two replicas decided different proposals for the same slot."""
+        maps = [
+            (replica.node_id, replica.committed_map())
+            for replica in self.cluster.replicas
+            if hasattr(replica, "committed_map")
+        ]
+        reference: Dict[Tuple[int, int], Tuple[int, bytes]] = {}
+        for node_id, committed in maps:
+            for slot, digest in committed.items():
+                seen = reference.get(slot)
+                if seen is None:
+                    reference[slot] = (node_id, digest)
+                elif seen[1] != digest:
+                    self._record(
+                        "agreement",
+                        f"slot {slot}: replica {seen[0]} decided {seen[1].hex()[:12]} "
+                        f"but replica {node_id} decided {digest.hex()[:12]}",
+                    )
+
+    def _check_no_fork(self) -> None:
+        """Executed transaction sequences are pairwise prefix-consistent."""
+        executions = [
+            (replica.node_id, replica.executed_transaction_digests())
+            for replica in self.cluster.replicas
+            if hasattr(replica, "executed_transaction_digests")
+        ]
+        if not executions:
+            return
+        # Prefix-consistency is transitive against the longest sequence, so
+        # one pass against the deepest replica covers every pair.
+        deepest_id, deepest = max(executions, key=lambda item: len(item[1]))
+        for node_id, digests in executions:
+            if node_id == deepest_id:
+                continue
+            shared = len(digests)
+            if digests[:shared] != deepest[:shared]:
+                first_bad = next(
+                    i for i in range(shared) if digests[i] != deepest[i]
+                )
+                self._record(
+                    "no-fork",
+                    f"replicas {node_id} and {deepest_id} fork at executed "
+                    f"position {first_bad}",
+                )
+
+    def _check_monotonic_frontier(self) -> None:
+        """A replica's executed prefix never shrinks between checks."""
+        for replica in self.cluster.replicas:
+            if not hasattr(replica, "executed_transaction_digests"):
+                continue
+            frontier = len(replica.executed_transaction_digests())
+            previous = self._frontiers.get(replica.node_id, 0)
+            if frontier < previous:
+                self._record(
+                    "monotonic-frontier",
+                    f"replica {replica.node_id} frontier went from {previous} to {frontier}",
+                )
+            self._frontiers[replica.node_id] = frontier
+
+    def _sample_progress(self) -> None:
+        per_replica = tuple(
+            getattr(replica, "executed_transactions", 0) for replica in self.cluster.replicas
+        )
+        confirmed = sum(client.confirmed_transactions for client in self.cluster.clients)
+        self.samples.append(
+            ProgressSample(
+                time=self.cluster.simulator.now,
+                executed_max=max(per_replica, default=0),
+                confirmed_total=confirmed,
+                executed_per_replica=per_replica,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # end-of-run checks
+    # ------------------------------------------------------------------
+
+    def final_check(self, heal_time: Optional[float] = None) -> List[InvariantViolation]:
+        """Run the end-of-run checks and return all recorded violations.
+
+        ``heal_time`` is the simulated time after which the fault script is
+        fully healed; pass None to skip the liveness check (some fault in
+        the script persists to the end of the run).
+        """
+        self.check_now()
+        self._check_inform_durability()
+        if heal_time is not None:
+            self._check_windowed_liveness(heal_time)
+        return self.violations
+
+    def _check_inform_durability(self) -> None:
+        """Every client-confirmed transaction is executed by a weak quorum.
+
+        A client confirms after f + 1 matching Informs and replicas inform
+        only after executing, so at least f + 1 replicas — hence at least
+        one non-faulty one — must hold each confirmed transaction.
+        """
+        conforming = [
+            replica
+            for replica in self.cluster.replicas
+            if hasattr(replica, "executed_transaction_digests")
+        ]
+        if not conforming:
+            # Nothing to count against — but only give up when NO replica
+            # exposes its execution history; one non-conforming replica must
+            # not silently disable the whole invariant.
+            return
+        executed_by: Dict[bytes, int] = {}
+        for replica in conforming:
+            for digest in set(replica.executed_transaction_digests()):
+                executed_by[digest] = executed_by.get(digest, 0) + 1
+        weak_quorum = getattr(self.cluster.replicas[0].config, "weak_quorum", 1)
+        for client in self.cluster.clients:
+            for digest in getattr(client, "confirmed_digests", ()):
+                copies = executed_by.get(digest, 0)
+                if copies < weak_quorum:
+                    self._record(
+                        "inform-durability",
+                        f"client {client.client_id} confirmed {digest.hex()[:12]} "
+                        f"but only {copies} replicas executed it "
+                        f"(weak quorum is {weak_quorum})",
+                    )
+
+    def _check_windowed_liveness(self, heal_time: float) -> None:
+        """Execution progresses again between fault heal and end of run.
+
+        The cluster-level check (the deepest replica keeps executing) is
+        always a violation when it fails.  Per-replica progress is also
+        measured: replicas stuck at their heal-time depth are recorded as
+        ``stragglers`` and, under ``strict_liveness``, violations too.
+        """
+        at_heal: Optional[ProgressSample] = None
+        for sample in self.samples:
+            if sample.time <= heal_time:
+                at_heal = sample
+            else:
+                break
+        heal_max = at_heal.executed_max if at_heal else 0
+        final = self.samples[-1] if self.samples else None
+        if final is None or final.executed_max <= heal_max:
+            self._record(
+                "liveness",
+                f"no execution progress after faults healed at {heal_time:.3f}s "
+                f"(stuck at {heal_max} executed transactions)",
+            )
+        if final is None or not final.executed_per_replica:
+            return
+        heal_depths = (
+            at_heal.executed_per_replica
+            if at_heal and at_heal.executed_per_replica
+            else (0,) * len(final.executed_per_replica)
+        )
+        stragglers = tuple(
+            replica.node_id
+            for replica, before, after in zip(
+                self.cluster.replicas, heal_depths, final.executed_per_replica
+            )
+            if after <= before
+        )
+        self.stragglers = stragglers
+        if self.strict_liveness:
+            for node_id in stragglers:
+                self._record(
+                    "liveness-straggler",
+                    f"replica {node_id} made no execution progress after faults "
+                    f"healed at {heal_time:.3f}s",
+                )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True while no invariant has been violated."""
+        return not self.violations
+
+
+__all__ = ["InvariantOracle", "InvariantViolation", "ProgressSample"]

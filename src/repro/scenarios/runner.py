@@ -1,0 +1,183 @@
+"""Execute declarative chaos scenarios with the invariant oracle attached.
+
+:class:`ScenarioRunner` is the bridge between the three layers the scenario
+subsystem composes: it instantiates a protocol cluster from a
+:class:`~repro.scenarios.spec.ScenarioSpec`, compiles the spec's fault
+script onto a :class:`~repro.faults.injector.FaultInjector`, arms an
+:class:`~repro.scenarios.oracle.InvariantOracle`, and runs the whole thing
+deterministically from the spec's seed.  ``run_matrix`` executes a list of
+specs and renders the one-line-per-scenario summary table the CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.bench.cluster import SimulatedCluster
+from repro.crypto.digest import digest_bytes
+from repro.faults.attacks import attack_by_name
+from repro.faults.injector import FaultInjector
+from repro.scenarios.oracle import InvariantOracle, InvariantViolation
+from repro.scenarios.spec import ATTACK_KINDS, FaultEvent, ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    spec: ScenarioSpec
+    confirmed_transactions: int
+    executed_transactions: int
+    committed_per_replica: Tuple[int, ...]
+    violations: Tuple[InvariantViolation, ...]
+    checks_run: int
+    # Replicas that made no execution progress after all faults healed — the
+    # missing-state-transfer gap the oracle surfaces without failing the run
+    # (violations under ScenarioSpec.strict_liveness).
+    stragglers: Tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant was violated."""
+        return not self.violations
+
+    def summary_digest(self) -> str:
+        """Deterministic digest of the run's observable outcome.
+
+        Covers the confirmed count and every replica's executed depth, so
+        any behavioural drift under a fixed seed changes the digest.  The
+        scenario tests pin these values per (protocol, fault, seed).
+        """
+        return digest_bytes(
+            (
+                self.spec.protocol,
+                self.spec.fault_label(),
+                self.spec.seed,
+                self.confirmed_transactions,
+                tuple(self.committed_per_replica),
+            )
+        ).hex()[:12]
+
+    def row(self) -> Dict[str, object]:
+        """Summary-table row for this result."""
+        return {
+            "scenario": self.spec.name,
+            "protocol": self.spec.protocol,
+            "fault": self.spec.fault_label(),
+            "f": self.spec.f,
+            "seed": self.spec.seed,
+            "confirmed": self.confirmed_transactions,
+            "executed": self.executed_transactions,
+            "violations": len(self.violations),
+            "stragglers": ",".join(map(str, self.stragglers)) or "-",
+            "digest": self.summary_digest(),
+        }
+
+
+class ScenarioRunner:
+    """Runs one :class:`ScenarioSpec` against a freshly built cluster."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.cluster = SimulatedCluster.for_protocol(
+            spec.protocol,
+            num_replicas=spec.resolved_replicas(),
+            batch_size=spec.batch_size,
+            clients=spec.clients,
+            outstanding_per_client=spec.outstanding,
+            seed=spec.seed,
+            request_timeout=spec.request_timeout,
+            view_change_timeout=spec.view_change_timeout,
+        )
+        # The inform-durability invariant audits every confirmed digest, so
+        # scenario clients must record them (off by default for benchmarks).
+        for client in self.cluster.clients:
+            client.record_confirmed_digests = True
+        self.injector = FaultInjector(self.cluster)
+        self.oracle = InvariantOracle(
+            self.cluster,
+            check_interval=spec.check_interval,
+            strict_liveness=spec.strict_liveness,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _compile_event(self, event: FaultEvent) -> None:
+        """Install one declarative fault event on the injector."""
+        if event.kind in ATTACK_KINDS:
+            scenario = attack_by_name(event.kind, attackers=event.replicas, victims=event.victims)
+            self.injector.launch_attack(scenario, at=event.at, until=event.until)
+        elif event.kind == "crash":
+            self.injector.crash_replicas(event.replicas, at=event.at, until=event.until)
+        elif event.kind == "partition":
+            self.injector.partition(event.groups, at=event.at, until=event.until)
+        elif event.kind == "latency":
+            self.injector.degrade_latency(event.factor, at=event.at, until=event.until)
+        else:  # pragma: no cover - spec validation rejects these earlier
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+
+    def run(self) -> ScenarioResult:
+        """Play the fault script to the end and return the checked outcome."""
+        for event in self.spec.events:
+            self._compile_event(event)
+        self.oracle.arm(self.spec.duration)
+        try:
+            result = self.cluster.run(duration=self.spec.duration)
+        finally:
+            # A latency window that persists past the run's end would leave a
+            # caller-shared NetworkConfig scaled for the next cluster.
+            self.injector.restore_latency_baseline()
+        self.oracle.final_check(heal_time=self.spec.heal_time())
+        committed = tuple(
+            getattr(replica, "executed_transactions", 0) for replica in self.cluster.replicas
+        )
+        return ScenarioResult(
+            spec=self.spec,
+            confirmed_transactions=result.confirmed_transactions,
+            executed_transactions=result.executed_transactions,
+            committed_per_replica=committed,
+            violations=tuple(self.oracle.violations),
+            checks_run=self.oracle.checks_run,
+            stragglers=self.oracle.stragglers,
+        )
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Convenience wrapper: build a runner for ``spec`` and run it."""
+    return ScenarioRunner(spec).run()
+
+
+def run_matrix(specs: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
+    """Run every spec in order (each on its own freshly seeded cluster)."""
+    return [run_scenario(spec) for spec in specs]
+
+
+MATRIX_COLUMNS = [
+    "scenario",
+    "protocol",
+    "fault",
+    "f",
+    "seed",
+    "confirmed",
+    "executed",
+    "violations",
+    "stragglers",
+    "digest",
+]
+
+
+def format_matrix(results: Sequence[ScenarioResult]) -> str:
+    """The aligned summary table for a list of scenario results."""
+    return format_table([result.row() for result in results], MATRIX_COLUMNS)
+
+
+__all__ = [
+    "MATRIX_COLUMNS",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "format_matrix",
+    "run_matrix",
+    "run_scenario",
+]

@@ -1,0 +1,239 @@
+"""Declarative chaos scenarios.
+
+A :class:`ScenarioSpec` describes one adversarial run end to end: which
+protocol to deploy, at what scale, which workload to drive, and a timed
+fault script of :class:`FaultEvent` entries — crashes, partitions, the
+paper's A1-A4 Byzantine attacks (Section 6.3, Figure 11), and latency
+degradation windows.  Specs are plain frozen data: the same spec and seed
+always produce the same simulated run, which is what makes the golden
+digests of the scenario tests meaningful.
+
+The predefined matrix mirrors the paper's adversarial evaluation: every
+implemented protocol crossed with every fault family at f ∈ {1, 2}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+#: Fault families understood by the scenario compiler.
+ATTACK_KINDS = ("A1", "A2", "A3", "A4")
+FAULT_KINDS = ATTACK_KINDS + ("crash", "partition", "latency")
+
+#: Protocols the runner can deploy (the order fixes matrix ordering).
+PROTOCOLS = ("spotless", "pbft", "rcc", "hotstuff", "narwhal-hs")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed entry of a scenario's fault script.
+
+    ``kind`` is one of :data:`FAULT_KINDS`.  ``at`` and ``until`` are
+    simulated times (``until=None`` means the fault persists to the end of
+    the run).  ``replicas`` are the crash targets or attackers, ``victims``
+    the A2/A3 victim group, ``groups`` the partition classes, and ``factor``
+    the latency multiplier.
+    """
+
+    kind: str
+    at: float
+    until: Optional[float] = None
+    replicas: Tuple[int, ...] = ()
+    victims: Tuple[int, ...] = ()
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose one of {FAULT_KINDS}")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError(f"fault heals at {self.until} before it starts at {self.at}")
+
+    @property
+    def heals(self) -> bool:
+        """True when the event has a heal time."""
+        return self.until is not None
+
+    def label(self) -> str:
+        """Compact human-readable description of the event."""
+        window = f"@{self.at:g}" + (f"-{self.until:g}" if self.until is not None else "-")
+        if self.kind == "partition":
+            return f"partition{self.groups}{window}"
+        if self.kind == "latency":
+            return f"latency x{self.factor:g}{window}"
+        return f"{self.kind}{self.replicas}{window}"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A full adversarial run: cluster shape, workload, and fault script."""
+
+    name: str
+    protocol: str
+    f: int = 1
+    num_replicas: Optional[int] = None
+    batch_size: int = 4
+    clients: int = 2
+    outstanding: int = 2
+    duration: float = 0.3
+    seed: int = 1
+    events: Tuple[FaultEvent, ...] = ()
+    check_interval: float = 0.05
+    # Aggressive failure-detection timers for the baselines: chaos runs are
+    # short, so recovery must fit in a fraction of the run (SpotLess's own
+    # adaptive timers are already this small).
+    request_timeout: float = 0.06
+    view_change_timeout: float = 0.08
+    # When True, post-heal stragglers (replicas that individually stop
+    # progressing) are invariant violations, not just a reported column; off
+    # by default until the protocols grow a state-transfer/catch-up path.
+    strict_liveness: bool = False
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; choose one of {PROTOCOLS}")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        n = self.resolved_replicas()
+        # Replica ids must name actual replicas — an out-of-range id would
+        # silently fault a client node (ids n..n+clients-1) or nothing at
+        # all, and the run would report a clean pass for an attack that was
+        # never injected.  Partition groups may include client node ids.
+        nodes = range(n + self.clients)
+        for event in self.events:
+            if event.at >= self.duration:
+                raise ValueError(f"event {event.label()} starts after the run ends")
+            # Targeted kinds without targets would inject nothing and report
+            # a clean pass for a fault that was never exercised.
+            if event.kind in (*ATTACK_KINDS, "crash") and not event.replicas:
+                raise ValueError(f"event {event.label()} names no target replicas")
+            if event.kind in ("A2", "A3") and not event.victims:
+                raise ValueError(f"event {event.label()} names no victims")
+            if event.kind == "partition" and not event.groups:
+                raise ValueError(f"event {event.label()} names no partition groups")
+            for replica in (*event.replicas, *event.victims):
+                if replica not in range(n):
+                    raise ValueError(
+                        f"event {event.label()} targets replica {replica}, but the "
+                        f"cluster has replicas 0..{n - 1}"
+                    )
+            for group in event.groups:
+                for node in group:
+                    if node not in nodes:
+                        raise ValueError(
+                            f"event {event.label()} partitions node {node}, but the "
+                            f"cluster has nodes 0..{n + self.clients - 1}"
+                        )
+
+    def resolved_replicas(self) -> int:
+        """Cluster size: explicit ``num_replicas`` or the minimal 3f + 1."""
+        return self.num_replicas if self.num_replicas is not None else 3 * self.f + 1
+
+    def heal_time(self) -> Optional[float]:
+        """When the last fault heals, or None if any fault persists.
+
+        The liveness invariant (progress resumes after faults heal) is only
+        checked when every fault in the script heals before the run ends; a
+        heal scheduled at or past ``duration`` never takes effect inside the
+        run, so such a fault counts as persistent.
+        """
+        if not self.events:
+            return 0.0
+        if any(not event.heals or event.until >= self.duration for event in self.events):
+            return None
+        return max(event.until for event in self.events)
+
+    def fault_label(self) -> str:
+        """Label summarising the fault script (used in the summary table)."""
+        if not self.events:
+            return "none"
+        return "+".join(event.kind for event in self.events)
+
+
+def single_fault_spec(
+    protocol: str,
+    fault: str,
+    f: int = 1,
+    duration: float = 0.3,
+    seed: int = 1,
+    batch_size: int = 4,
+    clients: int = 2,
+    outstanding: int = 2,
+) -> ScenarioSpec:
+    """The canonical one-fault scenario used by the predefined matrix.
+
+    The fault strikes at 25% of the run and heals at 50%, leaving half the
+    run as a post-heal window for the liveness check.  Attackers are the
+    ``f`` highest-numbered replicas and the A2/A3 victim group the ``f``
+    lowest-numbered ones, so attackers and victims never overlap.
+    """
+    n = 3 * f + 1
+    attackers = tuple(range(n - f, n))
+    victims = tuple(range(f))
+    at = round(0.25 * duration, 6)
+    until = round(0.5 * duration, 6)
+    if fault in ATTACK_KINDS:
+        event = FaultEvent(kind=fault, at=at, until=until, replicas=attackers, victims=victims)
+    elif fault == "crash":
+        event = FaultEvent(kind="crash", at=at, until=until, replicas=attackers)
+    elif fault == "partition":
+        # Clients (node ids n, n+1, ...) stay connected to the majority side:
+        # the scenario isolates replicas, not the client population.
+        majority = tuple(range(n - f)) + tuple(range(n, n + clients))
+        event = FaultEvent(kind="partition", at=at, until=until, groups=(majority, attackers))
+    elif fault == "latency":
+        event = FaultEvent(kind="latency", at=at, until=until, factor=4.0)
+    else:
+        raise ValueError(f"unknown fault {fault!r}; choose one of {FAULT_KINDS}")
+    return ScenarioSpec(
+        name=f"{protocol}-{fault}-f{f}-s{seed}",
+        protocol=protocol,
+        f=f,
+        duration=duration,
+        seed=seed,
+        batch_size=batch_size,
+        clients=clients,
+        outstanding=outstanding,
+        events=(event,),
+    )
+
+
+def scenario_matrix(
+    protocols: Sequence[str] = PROTOCOLS,
+    faults: Sequence[str] = ("A1", "A2", "A3", "A4", "crash", "partition"),
+    f_values: Sequence[int] = (1, 2),
+    duration: float = 0.4,
+    seeds: Sequence[int] = (1,),
+) -> List[ScenarioSpec]:
+    """The full scenario matrix: protocols x faults x f values x seeds."""
+    specs: List[ScenarioSpec] = []
+    for protocol in protocols:
+        for fault in faults:
+            for f in f_values:
+                for seed in seeds:
+                    specs.append(
+                        single_fault_spec(protocol, fault, f=f, duration=duration, seed=seed)
+                    )
+    return specs
+
+
+def smoke_matrix(seed: int = 1, duration: float = 0.4) -> List[ScenarioSpec]:
+    """The reduced CI grid: every protocol x every fault at f = 1, one seed.
+
+    The default duration matches the CLI's, so digests from a direct call
+    compare against the goldens in ``tests/test_scenarios.py`` and CI runs.
+    """
+    return scenario_matrix(f_values=(1,), duration=duration, seeds=(seed,))
+
+
+__all__ = [
+    "ATTACK_KINDS",
+    "FAULT_KINDS",
+    "PROTOCOLS",
+    "FaultEvent",
+    "ScenarioSpec",
+    "scenario_matrix",
+    "single_fault_spec",
+    "smoke_matrix",
+]

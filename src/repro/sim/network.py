@@ -98,7 +98,27 @@ class Partition:
         return True
 
 
+@dataclass(frozen=True)
+class CompositePartition:
+    """Several concurrently active partitions: a link must be allowed by all.
+
+    Overlapping partition fault windows compose through this instead of
+    overwriting each other — healing one window reinstalls the composite of
+    whatever windows remain active.
+    """
+
+    partitions: Tuple[Partition, ...]
+
+    def allows(self, sender: int, receiver: int) -> bool:
+        """True when every active partition allows ``sender`` → ``receiver``."""
+        return all(partition.allows(sender, receiver) for partition in self.partitions)
+
+
 DropRule = Callable[[int, int, object], bool]
+
+# A rewrite rule may replace a payload in flight (Byzantine equivocation):
+# it returns the substitute payload, or None to leave the message unchanged.
+RewriteRule = Callable[[int, int, object], Optional[object]]
 
 
 class Network:
@@ -122,8 +142,9 @@ class Network:
         self.metrics = metrics or MetricsRegistry()
         self._actors: Dict[int, "Actor"] = {}
         self._nic_free_at: Dict[int, float] = {}
-        self._partition: Optional[Partition] = None
+        self._partition: Optional[Partition | CompositePartition] = None
         self._drop_rules: list[DropRule] = []
+        self._rewrite_rules: list[RewriteRule] = []
         self._down_nodes: Set[int] = set()
 
     # -- membership -----------------------------------------------------
@@ -145,7 +166,7 @@ class Network:
 
     # -- fault surface ---------------------------------------------------
 
-    def set_partition(self, partition: Optional[Partition]) -> None:
+    def set_partition(self, partition: "Optional[Partition | CompositePartition]") -> None:
         """Install (or clear) a network partition."""
         self._partition = partition
 
@@ -153,9 +174,31 @@ class Network:
         """Install a rule that can drop messages (sender, receiver, payload)."""
         self._drop_rules.append(rule)
 
+    def remove_drop_rule(self, rule: DropRule) -> None:
+        """Remove one previously installed drop rule (no-op if absent).
+
+        Healing a fault must remove only that fault's own rule so that
+        overlapping fault windows do not heal each other early.
+        """
+        try:
+            self._drop_rules.remove(rule)
+        except ValueError:
+            pass
+
     def clear_drop_rules(self) -> None:
         """Remove all installed drop rules."""
         self._drop_rules.clear()
+
+    def add_rewrite_rule(self, rule: RewriteRule) -> None:
+        """Install a rule that can replace payloads in flight (equivocation)."""
+        self._rewrite_rules.append(rule)
+
+    def remove_rewrite_rule(self, rule: RewriteRule) -> None:
+        """Remove one previously installed rewrite rule (no-op if absent)."""
+        try:
+            self._rewrite_rules.remove(rule)
+        except ValueError:
+            pass
 
     def set_node_down(self, node_id: int, down: bool = True) -> None:
         """Mark a node as crashed: it neither sends nor receives."""
@@ -203,6 +246,12 @@ class Network:
             self.metrics.counter("network.messages_dropped").increment()
             return False
 
+        for rule in self._rewrite_rules:
+            rewritten = rule(sender, receiver, payload)
+            if rewritten is not None:
+                payload = rewritten
+                self.metrics.counter("network.messages_rewritten").increment()
+
         link = self.config.link(sender, receiver)
         delivery_delay = (departure - now) + link.sample_delay(self.rng)
         self.simulator.schedule(
@@ -231,4 +280,13 @@ class Network:
         actor.deliver(sender, payload)
 
 
-__all__ = ["DropRule", "LinkSpec", "Network", "NetworkConfig", "Partition", "RegionTopology"]
+__all__ = [
+    "CompositePartition",
+    "DropRule",
+    "LinkSpec",
+    "Network",
+    "NetworkConfig",
+    "Partition",
+    "RegionTopology",
+    "RewriteRule",
+]

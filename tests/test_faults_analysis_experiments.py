@@ -54,11 +54,20 @@ def test_darkness_attack_drops_proposals_to_victims_only():
     assert attack.should_drop(0, 2, preprepare)
 
 
-def test_equivocation_attack_withholds_votes_from_non_victims():
+def test_equivocation_attack_rewrites_votes_to_victims():
+    from repro.core.messages import Claim
+
     attack = EquivocationAttack(attackers={1}, victims={2})
-    assert attack.should_drop(1, 3, sync_payload())
-    assert not attack.should_drop(1, 2, sync_payload())
-    assert not attack.should_drop(0, 3, sync_payload())
+    honest = (0, SyncMessage(instance=0, view=1, claim=Claim(view=1, digest=b"honest")))
+    # A3 equivocates instead of dropping: votes flow everywhere...
+    assert not attack.should_drop(1, 3, honest)
+    assert not attack.should_drop(1, 2, honest)
+    # ...but the victim receives a conflicting claim while others do not.
+    rewritten = attack.rewrite(1, 2, honest)
+    assert rewritten is not None
+    assert rewritten[1].claim.digest != honest[1].claim.digest
+    assert attack.rewrite(1, 3, honest) is None
+    assert attack.rewrite(0, 2, honest) is None
 
 
 def test_vote_withholding_attack_blocks_all_votes_from_attackers():

@@ -1,0 +1,117 @@
+"""Unit tests for the A1-A4 attack scenarios (drop and rewrite behaviour)."""
+
+import pytest
+
+from repro.core.messages import Claim, ProposeMessage, SyncMessage
+from repro.faults.attacks import (
+    AttackScenario,
+    DarknessAttack,
+    EquivocationAttack,
+    NonResponsiveAttack,
+    VoteWithholdingAttack,
+    attack_by_name,
+    conflicting_digest,
+)
+from repro.protocols.hotstuff.messages import HsVote
+from repro.protocols.pbft.messages import CommitMessage, PrepareMessage
+
+
+def sync_message(digest=b"honest"):
+    return SyncMessage(instance=0, view=1, claim=Claim(view=1, digest=digest))
+
+
+def propose_message():
+    return ProposeMessage(
+        instance=0, view=1, transaction_digests=(), parent_digest=b"p", parent_view=0
+    )
+
+
+# ---------------------------------------------------------------------------
+# A1 symmetry
+# ---------------------------------------------------------------------------
+
+
+def test_non_responsive_attack_is_symmetric():
+    attack = NonResponsiveAttack(attackers={2})
+    payload = (0, sync_message())
+    # Both directions are cut: the attacker neither sends nor receives.
+    assert attack.should_drop(2, 0, payload)
+    assert attack.should_drop(0, 2, payload)
+    assert attack.should_drop(2, 1, propose_message())
+    assert attack.should_drop(1, 2, propose_message())
+    assert not attack.should_drop(0, 1, payload)
+
+
+# ---------------------------------------------------------------------------
+# A3: genuine equivocation via rewrite rules
+# ---------------------------------------------------------------------------
+
+
+def test_conflicting_digest_is_deterministic_and_distinct():
+    assert conflicting_digest(b"x") == conflicting_digest(b"x")
+    assert conflicting_digest(b"x") != b"x"
+    assert conflicting_digest(b"x") != conflicting_digest(b"y")
+
+
+def test_only_equivocation_declares_a_rewrite():
+    assert EquivocationAttack(attackers={1}).rewrites
+    assert not NonResponsiveAttack(attackers={1}).rewrites
+    assert not DarknessAttack(attackers={1}).rewrites
+    assert not VoteWithholdingAttack(attackers={1}).rewrites
+    assert not AttackScenario().rewrites
+
+
+def test_equivocation_rewrites_spotless_sync_preserving_envelope():
+    attack = EquivocationAttack(attackers={3}, victims={0})
+    payload = (2, sync_message(b"honest"))
+    rewritten = attack.rewrite(3, 0, payload)
+    assert isinstance(rewritten, tuple) and rewritten[0] == 2
+    assert rewritten[1].claim.digest == conflicting_digest(b"honest")
+    assert rewritten[1].view == payload[1].view
+    # Honest votes to the rest of the cluster are untouched.
+    assert attack.rewrite(3, 1, payload) is None
+    # Votes from non-attackers are untouched.
+    assert attack.rewrite(1, 0, payload) is None
+
+
+def test_equivocation_leaves_failure_claims_alone():
+    attack = EquivocationAttack(attackers={3}, victims={0})
+    failure = (0, SyncMessage(instance=0, view=1, claim=Claim.failure(1)))
+    assert attack.rewrite(3, 0, failure) is None
+
+
+def test_equivocation_rewrites_pbft_and_hotstuff_votes():
+    attack = EquivocationAttack(attackers={3}, victims={0})
+    prepare = PrepareMessage(instance=0, view=0, sequence=5, batch_digest=b"batch")
+    commit = CommitMessage(instance=0, view=0, sequence=5, batch_digest=b"batch")
+    vote = HsVote(view=4, node_digest=b"node", voter=3)
+    assert attack.rewrite(3, 0, prepare).batch_digest == conflicting_digest(b"batch")
+    assert attack.rewrite(3, 0, commit).batch_digest == conflicting_digest(b"batch")
+    assert attack.rewrite(3, 0, vote).node_digest == conflicting_digest(b"node")
+    # Sequence/view/voter metadata is preserved so the vote stays well-formed.
+    assert attack.rewrite(3, 0, prepare).sequence == 5
+    assert attack.rewrite(3, 0, vote).voter == 3
+
+
+def test_equivocation_does_not_rewrite_proposals():
+    attack = EquivocationAttack(attackers={3}, victims={0})
+    assert attack.rewrite(3, 0, propose_message()) is None
+
+
+# ---------------------------------------------------------------------------
+# attack_by_name error paths
+# ---------------------------------------------------------------------------
+
+
+def test_attack_by_name_is_case_insensitive_and_sets_groups():
+    attack = attack_by_name("a3", attackers=[3], victims=[0, 1])
+    assert isinstance(attack, EquivocationAttack)
+    assert attack.attackers == {3}
+    assert attack.victims == {0, 1}
+    assert attack.name == "A3"
+
+
+@pytest.mark.parametrize("bad", ["A0", "A5", "", "crash", "a9"])
+def test_attack_by_name_rejects_unknown_labels(bad):
+    with pytest.raises(ValueError):
+        attack_by_name(bad, attackers=[1])

@@ -176,6 +176,72 @@ def test_pbft_view_change_reproposes_prepared_slots():
         assert any(seq == 0 and digests == (b"a",) for seq, _view, digests in harness.decisions[replica])
 
 
+def test_pbft_equivocating_votes_do_not_count_toward_honest_quorum():
+    """Regression: Prepare/Commit votes arriving before the PrePrepare were
+    recorded without the digest they voted for, so an A3-rewritten phantom
+    vote could be credited toward the honest batch's quorum."""
+    harness = PbftHarness()
+    victim = harness.cores[1]
+    phantom = PrepareMessage(instance=0, view=0, sequence=0, batch_digest=b"phantom")
+    victim.on_prepare(3, phantom)  # equivocating vote lands first
+    preprepare = PrePrepareMessage(
+        instance=0, view=0, sequence=0, transaction_digests=(b"a",)
+    )
+    victim.on_preprepare(0, preprepare)
+    honest = PrepareMessage(
+        instance=0, view=0, sequence=0, batch_digest=preprepare.batch_digest()
+    )
+    victim.on_prepare(2, honest)
+    # Two matching votes (primary + replica 2): one short of the quorum of 3;
+    # the phantom vote from replica 3 must not close the gap.
+    assert not victim.slots[0].prepared
+    victim.on_prepare(3, honest)  # the attacker's honest-side vote does count
+    assert victim.slots[0].prepared
+
+
+def test_pbft_view_change_vote_carries_unprepared_content():
+    """A slot whose content was received but never re-prepared (e.g. reset by
+    a prior NewView) must still travel in the ViewChange vote — forgetting it
+    between two rapid view changes could let a committed slot be no-op
+    filled."""
+    harness = PbftHarness()
+    backup = harness.cores[1]
+    preprepare = PrePrepareMessage(
+        instance=0, view=0, sequence=0, transaction_digests=(b"a",)
+    )
+    backup.on_preprepare(0, preprepare)
+    assert not backup.slots[0].prepared
+    harness.queues.clear()
+    backup.request_view_change(1)
+    votes = [m for _s, _r, m in harness.queues if isinstance(m, ViewChangeMessage)]
+    assert votes and votes[0].prepared_slots == ((0, 0, (b"a",)),)
+
+
+def test_pbft_view_change_backfills_replica_that_missed_decisions():
+    """Regression: view-change votes used to carry only slots above the
+    voter's decided frontier, so a slot committed everywhere except on a
+    replica that was isolated arrived at that replica as neither a
+    re-proposal nor a no-op — it could assemble quorums for nothing and its
+    execution frontier wedged forever."""
+    harness = PbftHarness(batches=[(b"a",), (b"b",)])
+    harness.cores[0].start()
+
+    def isolate_replica_3(sender, receiver, message):
+        return sender == 3 or receiver == 3
+
+    harness.deliver_all(drop=isolate_replica_3)
+    assert [seq for seq, _, _ in sorted(harness.decisions[0])] == [0, 1]
+    assert harness.decisions[3] == []
+    # Replica 3 heals; a view change must hand it the decided slots' content.
+    for replica in (0, 1, 2, 3):
+        harness.cores[replica].request_view_change(1)
+    harness.deliver_all()
+    assert [seq for seq, _, _ in sorted(harness.decisions[3])] == [0, 1]
+    for sequence, reference in ((0, (b"a",)), (1, (b"b",))):
+        decided = [d for s, _v, d in harness.decisions[3] if s == sequence]
+        assert decided == [reference]
+
+
 # ---------------------------------------------------------------------------
 # protocol cluster integrations (message-level simulator)
 # ---------------------------------------------------------------------------

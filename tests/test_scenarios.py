@@ -1,0 +1,485 @@
+"""Tests for the scenario-matrix chaos harness and the invariant oracle.
+
+The golden-digest test runs the full smoke matrix (5 protocols x 6 fault
+families at f = 1) and pins each run's deterministic summary digest, so any
+behavioural drift of a protocol under attack is caught immediately.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.scenarios import (
+    ATTACK_KINDS,
+    PROTOCOLS,
+    FaultEvent,
+    InvariantOracle,
+    ScenarioSpec,
+    run_scenario,
+    scenario_matrix,
+    single_fault_spec,
+    smoke_matrix,
+)
+from repro.sim.engine import Simulator
+
+
+# ---------------------------------------------------------------------------
+# spec validation and helpers
+# ---------------------------------------------------------------------------
+
+
+def test_fault_event_rejects_unknown_kind_and_bad_window():
+    with pytest.raises(ValueError):
+        FaultEvent(kind="meteor", at=0.1)
+    with pytest.raises(ValueError):
+        FaultEvent(kind="crash", at=0.2, until=0.1)
+
+
+def test_scenario_spec_rejects_unknown_protocol_and_late_events():
+    with pytest.raises(ValueError):
+        ScenarioSpec(name="x", protocol="raft")
+    with pytest.raises(ValueError):
+        ScenarioSpec(
+            name="x",
+            protocol="pbft",
+            duration=0.2,
+            events=(FaultEvent(kind="crash", at=0.5, replicas=(3,)),),
+        )
+
+
+def test_heal_time_and_fault_label():
+    healing = ScenarioSpec(
+        name="x",
+        protocol="pbft",
+        duration=1.0,
+        events=(
+            FaultEvent(kind="crash", at=0.1, until=0.3, replicas=(2,)),
+            FaultEvent(kind="A1", at=0.2, until=0.5, replicas=(3,)),
+        ),
+    )
+    assert healing.heal_time() == 0.5
+    assert healing.fault_label() == "crash+A1"
+    persistent = ScenarioSpec(
+        name="y",
+        protocol="pbft",
+        duration=1.0,
+        events=(FaultEvent(kind="crash", at=0.1, replicas=(3,)),),
+    )
+    assert persistent.heal_time() is None
+    assert ScenarioSpec(name="z", protocol="pbft").heal_time() == 0.0
+
+
+def test_heal_after_run_end_counts_as_persistent():
+    # A heal scheduled past the run's end never takes effect inside the run:
+    # the liveness check must be skipped, not reported as a false violation.
+    spec = ScenarioSpec(
+        name="late-heal",
+        protocol="pbft",
+        duration=0.3,
+        events=(FaultEvent(kind="crash", at=0.1, until=0.6, replicas=(3,)),),
+    )
+    assert spec.heal_time() is None
+    result = run_scenario(spec)
+    assert not any(v.invariant == "liveness" for v in result.violations)
+
+
+def test_scenario_spec_rejects_out_of_range_replica_ids():
+    # Replica 4 of a 4-replica cluster is client 0: faulting it would test
+    # nothing while reporting a clean pass.
+    with pytest.raises(ValueError):
+        ScenarioSpec(
+            name="x",
+            protocol="pbft",
+            f=1,
+            events=(FaultEvent(kind="crash", at=0.1, replicas=(4,)),),
+        )
+    with pytest.raises(ValueError):
+        ScenarioSpec(
+            name="x",
+            protocol="pbft",
+            f=1,
+            events=(FaultEvent(kind="A2", at=0.1, replicas=(3,), victims=(99,)),),
+        )
+    # Partition groups may include client node ids (n..n+clients-1) but
+    # nothing beyond them.
+    ScenarioSpec(
+        name="ok",
+        protocol="pbft",
+        f=1,
+        clients=2,
+        events=(FaultEvent(kind="partition", at=0.1, groups=((0, 1, 2, 4, 5), (3,))),),
+    )
+    with pytest.raises(ValueError):
+        ScenarioSpec(
+            name="x",
+            protocol="pbft",
+            f=1,
+            clients=2,
+            events=(FaultEvent(kind="partition", at=0.1, groups=((0, 1, 2, 6), (3,))),),
+        )
+
+
+def test_scenario_spec_rejects_targetless_fault_events():
+    # A crash/attack without targets (or A2/A3 without victims) would inject
+    # nothing and report a clean pass for a fault that never happened.
+    with pytest.raises(ValueError):
+        ScenarioSpec(
+            name="x", protocol="pbft", events=(FaultEvent(kind="crash", at=0.1),)
+        )
+    with pytest.raises(ValueError):
+        ScenarioSpec(
+            name="x",
+            protocol="pbft",
+            events=(FaultEvent(kind="A3", at=0.1, replicas=(3,)),),
+        )
+    with pytest.raises(ValueError):
+        ScenarioSpec(
+            name="x", protocol="pbft", events=(FaultEvent(kind="partition", at=0.1),)
+        )
+
+
+def test_persistent_latency_window_restores_config_after_the_run():
+    from repro.scenarios.runner import ScenarioRunner
+
+    spec = ScenarioSpec(
+        name="latency-forever",
+        protocol="pbft",
+        duration=0.2,
+        events=(FaultEvent(kind="latency", at=0.05, factor=4.0),),
+    )
+    runner = ScenarioRunner(spec)
+    config = runner.cluster.network.config
+    base_delay, jitter = config.base_delay, config.jitter
+    runner.run()
+    # The window never healed inside the run, but the shared config must not
+    # stay scaled for whoever builds the next cluster from it.
+    assert config.base_delay == base_delay
+    assert config.jitter == jitter
+
+
+def test_single_fault_spec_shapes_the_attack():
+    spec = single_fault_spec("spotless", "A2", f=2, duration=1.0)
+    assert spec.resolved_replicas() == 7
+    event = spec.events[0]
+    assert event.kind == "A2"
+    assert event.replicas == (5, 6)  # attackers: highest ids
+    assert event.victims == (0, 1)  # victims: lowest ids, disjoint
+    assert event.at == 0.25 and event.until == 0.5
+
+
+def test_single_fault_partition_keeps_clients_with_the_majority():
+    spec = single_fault_spec("pbft", "partition", f=1, clients=2)
+    groups = spec.events[0].groups
+    majority, isolated = groups
+    assert isolated == (3,)
+    # Client node ids (4, 5) ride with the majority side.
+    assert set(majority) == {0, 1, 2, 4, 5}
+
+
+def test_matrix_builders_cover_the_grid():
+    full = scenario_matrix()
+    assert len(full) == len(PROTOCOLS) * 6 * 2
+    smoke = smoke_matrix()
+    assert len(smoke) == len(PROTOCOLS) * 6
+    assert {spec.protocol for spec in smoke} == set(PROTOCOLS)
+    assert all(spec.f == 1 for spec in smoke)
+    # A direct smoke_matrix() call must build the same specs the CLI runs,
+    # so its digests compare against GOLDEN_SMOKE (pinned at duration 0.4).
+    assert all(spec.duration == 0.4 for spec in smoke)
+    labels = {spec.fault_label() for spec in smoke}
+    assert set(ATTACK_KINDS) <= labels and {"crash", "partition"} <= labels
+
+
+# ---------------------------------------------------------------------------
+# invariant oracle unit tests (stub clusters)
+# ---------------------------------------------------------------------------
+
+
+class StubConfig:
+    weak_quorum = 2
+
+
+class StubReplica:
+    def __init__(self, node_id, committed=None, executed=None):
+        self.node_id = node_id
+        self.config = StubConfig()
+        self._committed = committed or {}
+        self._executed = executed or []
+        self.executed_transactions = len(self._executed)
+
+    def committed_map(self):
+        return dict(self._committed)
+
+    def executed_transaction_digests(self):
+        return list(self._executed)
+
+
+class StubClient:
+    def __init__(self, client_id, confirmed_digests=()):
+        self.client_id = client_id
+        self.confirmed_digests = list(confirmed_digests)
+        self.confirmed_transactions = len(self.confirmed_digests)
+
+
+class StubCluster:
+    def __init__(self, replicas, clients=()):
+        self.simulator = Simulator()
+        self.replicas = list(replicas)
+        self.clients = list(clients)
+
+
+def test_oracle_detects_agreement_violation():
+    cluster = StubCluster(
+        [
+            StubReplica(0, committed={(0, 0): b"a"}),
+            StubReplica(1, committed={(0, 0): b"b"}),
+        ]
+    )
+    oracle = InvariantOracle(cluster)
+    oracle.check_now()
+    assert any(v.invariant == "agreement" for v in oracle.violations)
+
+
+def test_oracle_detects_fork_in_executed_order():
+    cluster = StubCluster(
+        [
+            StubReplica(0, executed=[b"t1", b"t2", b"t3"]),
+            StubReplica(1, executed=[b"t1", b"tX"]),
+        ]
+    )
+    oracle = InvariantOracle(cluster)
+    oracle.check_now()
+    assert any(v.invariant == "no-fork" for v in oracle.violations)
+    # A persistent fork re-triggers on every tick but is one defect.
+    oracle.check_now()
+    oracle.check_now()
+    assert len([v for v in oracle.violations if v.invariant == "no-fork"]) == 1
+
+
+def test_oracle_accepts_lagging_prefixes():
+    cluster = StubCluster(
+        [
+            StubReplica(0, committed={(0, 0): b"a"}, executed=[b"t1", b"t2"]),
+            StubReplica(1, committed={(0, 0): b"a"}, executed=[b"t1"]),
+        ]
+    )
+    oracle = InvariantOracle(cluster)
+    oracle.check_now()
+    assert oracle.ok
+
+
+def test_oracle_detects_shrinking_frontier():
+    replica = StubReplica(0, executed=[b"t1", b"t2"])
+    cluster = StubCluster([replica])
+    oracle = InvariantOracle(cluster)
+    oracle.check_now()
+    replica._executed = [b"t1"]  # a rollback must be flagged
+    oracle.check_now()
+    assert any(v.invariant == "monotonic-frontier" for v in oracle.violations)
+
+
+class StubReplicaNoHistory:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.config = StubConfig()
+        self.executed_transactions = 0
+
+
+def test_oracle_durability_survives_one_nonconforming_replica():
+    # One replica without executed_transaction_digests() must not silently
+    # disable the durability check for the whole cluster.
+    cluster = StubCluster(
+        [StubReplica(0, executed=[b"t1"]), StubReplicaNoHistory(1), StubReplica(2, executed=[])],
+        clients=[StubClient(0, confirmed_digests=[b"ghost"])],
+    )
+    oracle = InvariantOracle(cluster)
+    oracle.final_check(heal_time=None)
+    assert any(v.invariant == "inform-durability" for v in oracle.violations)
+
+
+def test_oracle_detects_unexecuted_confirmations():
+    cluster = StubCluster(
+        [StubReplica(0, executed=[b"t1"]), StubReplica(1, executed=[b"t1"])],
+        clients=[StubClient(0, confirmed_digests=[b"ghost"])],
+    )
+    oracle = InvariantOracle(cluster)
+    oracle.final_check(heal_time=None)
+    assert any(v.invariant == "inform-durability" for v in oracle.violations)
+
+
+def test_oracle_requires_weak_quorum_of_copies():
+    # Confirmed digest executed by only one of two replicas: below weak quorum.
+    cluster = StubCluster(
+        [StubReplica(0, executed=[b"t1"]), StubReplica(1, executed=[])],
+        clients=[StubClient(0, confirmed_digests=[b"t1"])],
+    )
+    oracle = InvariantOracle(cluster)
+    oracle.final_check(heal_time=None)
+    assert any(v.invariant == "inform-durability" for v in oracle.violations)
+
+
+def test_oracle_detects_stalled_liveness_after_heal():
+    replica = StubReplica(0, executed=[b"t1"])
+    cluster = StubCluster([replica])
+    oracle = InvariantOracle(cluster, check_interval=0.1)
+    oracle.arm(1.0)
+    cluster.simulator.run_for(1.0)  # samples tick but progress never moves
+    oracle.final_check(heal_time=0.5)
+    assert any(v.invariant == "liveness" for v in oracle.violations)
+
+
+def test_oracle_liveness_passes_when_progress_resumes():
+    replica = StubReplica(0, executed=[b"t1"])
+    cluster = StubCluster([replica])
+    oracle = InvariantOracle(cluster, check_interval=0.1)
+    oracle.arm(1.0)
+    cluster.simulator.schedule(
+        0.8, lambda: setattr(replica, "executed_transactions", 5), label="progress"
+    )
+    cluster.simulator.run_for(1.0)
+    oracle.final_check(heal_time=0.5)
+    assert oracle.ok
+
+
+# ---------------------------------------------------------------------------
+# seeded end-to-end runs: determinism and golden digests
+# ---------------------------------------------------------------------------
+
+# Deterministic summary digests of the smoke matrix (duration 0.4, seed 1).
+# Regenerate with: python -m repro scenario --matrix smoke
+GOLDEN_SMOKE = {
+    ("spotless", "A1"): "ac8f6d39a7dc",
+    ("spotless", "A2"): "a2fe4ce646f1",
+    ("spotless", "A3"): "aa9f4d95279b",
+    ("spotless", "A4"): "6282c489bf6a",
+    ("spotless", "crash"): "cc6cd18e89bf",
+    ("spotless", "partition"): "b08e99cb5538",
+    ("pbft", "A1"): "6cebbc45269d",
+    ("pbft", "A2"): "96dafc9eac64",
+    ("pbft", "A3"): "093411ef5ec6",
+    ("pbft", "A4"): "ebb8b71c22ed",
+    ("pbft", "crash"): "ee48b0120c51",
+    ("pbft", "partition"): "6048c7b2093a",
+    ("rcc", "A1"): "6a37a05b89dc",
+    ("rcc", "A2"): "43cdd1150e9b",
+    ("rcc", "A3"): "b6d538cfd738",
+    ("rcc", "A4"): "1bd843a3347c",
+    ("rcc", "crash"): "d4a3358378f3",
+    ("rcc", "partition"): "dae00c3f9f3a",
+    ("hotstuff", "A1"): "1fd5a7045582",
+    ("hotstuff", "A2"): "f646fa36849b",
+    ("hotstuff", "A3"): "d7cea0ed361f",
+    ("hotstuff", "A4"): "dcd2060d9099",
+    ("hotstuff", "crash"): "74f5617c1e43",
+    ("hotstuff", "partition"): "798cb85f2988",
+    ("narwhal-hs", "A1"): "c60984fcf4b2",
+    ("narwhal-hs", "A2"): "9c1b3d5b2975",
+    ("narwhal-hs", "A3"): "d9e430bb4389",
+    ("narwhal-hs", "A4"): "8cec36904111",
+    ("narwhal-hs", "crash"): "fed89d4d2a9c",
+    ("narwhal-hs", "partition"): "eac240405037",
+}
+
+SMOKE_FAULTS = ("A1", "A2", "A3", "A4", "crash", "partition")
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_smoke_matrix_clean_and_golden(protocol):
+    """Every fault family leaves zero invariant violations and a pinned digest."""
+    for fault in SMOKE_FAULTS:
+        result = run_scenario(single_fault_spec(protocol, fault, f=1, duration=0.4, seed=1))
+        assert result.violations == (), (
+            f"{protocol}/{fault}: {[str(v) for v in result.violations]}"
+        )
+        assert result.confirmed_transactions > 0
+        assert result.summary_digest() == GOLDEN_SMOKE[(protocol, fault)], (
+            f"{protocol}/{fault} drifted"
+        )
+
+
+def test_same_seed_gives_identical_summary():
+    spec = single_fault_spec("hotstuff", "A3", f=1, duration=0.3, seed=9)
+    first = run_scenario(spec)
+    second = run_scenario(spec)
+    assert first.summary_digest() == second.summary_digest()
+    assert first.committed_per_replica == second.committed_per_replica
+    assert first.confirmed_transactions == second.confirmed_transactions
+
+
+def test_different_seed_changes_the_run():
+    base = run_scenario(single_fault_spec("hotstuff", "A4", f=1, duration=0.3, seed=1))
+    other = run_scenario(single_fault_spec("hotstuff", "A4", f=1, duration=0.3, seed=2))
+    assert base.summary_digest() != other.summary_digest()
+
+
+def test_oracle_checks_actually_ran():
+    result = run_scenario(single_fault_spec("hotstuff", "crash", f=1, duration=0.3, seed=1))
+    assert result.checks_run >= 5  # periodic ticks plus the final check
+
+
+def test_scenario_runner_enables_digest_recording_but_benchmarks_skip_it():
+    from repro.scenarios.runner import ScenarioRunner
+
+    runner = ScenarioRunner(single_fault_spec("pbft", "A4", f=1, duration=0.2, seed=1))
+    runner.run()
+    assert any(client.confirmed_digests for client in runner.cluster.clients)
+    # A plain benchmark cluster keeps the per-digest log off.
+    from repro.bench.cluster import SimulatedCluster
+
+    cluster = SimulatedCluster.for_protocol("pbft", num_replicas=4, clients=2, batch_size=4)
+    cluster.run(duration=0.1)
+    assert all(not client.confirmed_digests for client in cluster.clients)
+    assert any(client.confirmed_transactions for client in cluster.clients)
+
+
+def test_oracle_reports_post_heal_stragglers_without_failing_the_run():
+    # The crashed replica has no state-transfer path to recover the chain
+    # nodes it missed, so it stops executing after the heal: the oracle must
+    # surface it as a straggler while the run itself stays clean.
+    result = run_scenario(single_fault_spec("hotstuff", "crash", f=1, duration=0.3, seed=1))
+    assert result.stragglers == (3,)
+    assert result.violations == ()
+    assert result.row()["stragglers"] == "3"
+
+
+def test_strict_liveness_turns_stragglers_into_violations():
+    from dataclasses import replace
+
+    spec = replace(
+        single_fault_spec("hotstuff", "crash", f=1, duration=0.3, seed=1),
+        strict_liveness=True,
+    )
+    result = run_scenario(spec)
+    violations = [v for v in result.violations if v.invariant == "liveness-straggler"]
+    assert [v for v in violations if "replica 3" in v.detail]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_single_scenario_runs_clean(capsys):
+    exit_code = main(
+        ["scenario", "--protocol", "hotstuff", "--fault", "A3", "--duration", "0.3"]
+    )
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "hotstuff-A3-f1-s1" in output
+    assert "all 1 scenarios clean" in output
+
+
+def test_cli_rejects_unknown_fault(capsys):
+    assert main(["scenario", "--fault", "meteor"]) == 2
+    assert "unknown fault" in capsys.readouterr().err
+
+
+def test_cli_rejects_unknown_protocol(capsys):
+    assert main(["scenario", "--protocol", "raft", "--fault", "A1"]) == 2
+    assert "unknown protocol" in capsys.readouterr().err
+
+
+def test_cli_rejects_single_scenario_flags_with_matrix(capsys):
+    # `--matrix smoke --f 2` must not silently run the f=1 grid.
+    assert main(["scenario", "--matrix", "smoke", "--f", "2"]) == 2
+    err = capsys.readouterr().err
+    assert "--matrix selects the whole grid" in err and "--f" in err
