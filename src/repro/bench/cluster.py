@@ -221,6 +221,7 @@ class SimulatedCluster:
         seed: int = 1,
         request_timeout: Optional[float] = None,
         view_change_timeout: Optional[float] = None,
+        checkpoint_interval: Optional[int] = None,
     ) -> "SimulatedCluster":
         """Build a cluster for any implemented protocol by name.
 
@@ -229,13 +230,19 @@ class SimulatedCluster:
         override the baselines' failure-detection timers (the chaos scenarios
         use aggressive values so short adversarial runs can recover); they
         are ignored by SpotLess, whose adaptive timers are already small.
+        ``checkpoint_interval`` overrides the recovery subsystem's checkpoint
+        interval K (0 disables checkpointing and state transfer).
         """
         name = protocol.lower()
         if name == "spotless":
+            spotless_overrides = {}
+            if checkpoint_interval is not None:
+                spotless_overrides["checkpoint_interval"] = checkpoint_interval
             config = SpotLessConfig(
                 num_replicas=num_replicas,
                 num_instances=num_instances or num_replicas,
                 batch_size=batch_size,
+                **spotless_overrides,
             )
             return SimulatedCluster.spotless(
                 config, clients=clients, outstanding_per_client=outstanding_per_client,
@@ -248,6 +255,8 @@ class SimulatedCluster:
             timeout_overrides["request_timeout"] = request_timeout
         if view_change_timeout is not None:
             timeout_overrides["view_change_timeout"] = view_change_timeout
+        if checkpoint_interval is not None:
+            timeout_overrides["checkpoint_interval"] = checkpoint_interval
         config = BftConfig(
             num_replicas=num_replicas,
             batch_size=batch_size,

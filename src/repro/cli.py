@@ -213,6 +213,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.scenarios import (
         FAULT_KINDS,
         PROTOCOLS,
@@ -257,6 +259,13 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         specs = [
             single_fault_spec(protocol, fault, f=f, duration=args.duration, seed=args.seed)
         ]
+    overrides = {}
+    if args.checkpoint_interval is not None:
+        overrides["checkpoint_interval"] = args.checkpoint_interval
+    if args.lenient_liveness:
+        overrides["strict_liveness"] = False
+    if overrides:
+        specs = [replace(spec, **overrides) for spec in specs]
     results = run_matrix(specs)
     print(format_matrix(results))
     violations = [v for result in results for v in result.violations]
@@ -335,6 +344,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_parser.add_argument("--duration", type=float, default=0.4, help="simulated seconds per scenario")
     scenario_parser.add_argument("--seed", type=int, default=1)
+    scenario_parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        help="recovery checkpoint interval K (0 disables checkpointing/state transfer)",
+    )
+    scenario_parser.add_argument(
+        "--lenient-liveness",
+        action="store_true",
+        help="report post-heal stragglers as a column instead of failing the run",
+    )
     scenario_parser.set_defaults(handler=_cmd_scenario)
 
     validate_parser = subparsers.add_parser(

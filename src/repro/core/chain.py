@@ -195,7 +195,14 @@ class ProposalStore:
         """True when ``ancestor`` is ``proposal`` itself or precedes it."""
         if proposal.digest == ancestor.digest:
             return True
-        return any(node.digest == ancestor.digest for node in self.precedes_chain(proposal))
+        seen: Set[bytes] = {proposal.digest}
+        current = self.parent_of(proposal)
+        while current is not None and current.digest not in seen:
+            if current.digest == ancestor.digest:
+                return True
+            seen.add(current.digest)
+            current = self.parent_of(current)
+        return False
 
     def conflicts(self, first: Proposal, second: Proposal) -> bool:
         """True when neither proposal extends the other (conflicting chains)."""
@@ -278,8 +285,41 @@ class ProposalStore:
         return newly_committed
 
     def _commit_chain(self, proposal: Proposal) -> List[Proposal]:
-        """Commit ``proposal`` and every not-yet-committed ancestor, oldest first."""
-        chain = [proposal] + self.precedes_chain(proposal)
+        """Commit ``proposal`` and every not-yet-committed ancestor, oldest first.
+
+        Under the paper's rule the store enforces its own safety invariant:
+        a proposal conflicting with the committed chain is refused.  Honest
+        quorum evidence can never produce such a commit (two same-view n − f
+        quorums intersect in f + 1 replicas, so one would need > f Byzantine
+        voters), which makes the refusal a guard against being driven with
+        Byzantine evidence rather than a reachable honest code path.  All
+        committed proposals lie on one chain, so conflict with the *newest*
+        committed proposal implies conflict with the chain.  The unsafe
+        ``"two-view"`` ablation rule stays unguarded — demonstrating that it
+        admits conflicting commits is exactly its purpose (Example 3.6).
+        """
+        if proposal.status >= ProposalStatus.COMMITTED:
+            return []
+        # Walk only the uncommitted suffix: committing a proposal always
+        # commits its entire ancestor chain, so everything below the first
+        # committed ancestor (the *anchor*) is already committed and the
+        # anchor itself answers the conflict question — anchoring at the
+        # committed tip means ``proposal`` extends the chain; anchoring at
+        # genesis or an older committed node means it forked below the tip.
+        chain: List[Proposal] = [proposal]
+        seen: Set[bytes] = {proposal.digest}
+        anchor: Optional[Proposal] = None
+        current = self.parent_of(proposal)
+        while current is not None and current.digest not in seen:
+            if current.status >= ProposalStatus.COMMITTED:
+                anchor = current
+                break
+            chain.append(current)
+            seen.add(current.digest)
+            current = self.parent_of(current)
+        if self.commit_rule != "two-view" and self._committed_order:
+            if anchor is None or anchor.digest != self._committed_order[-1]:
+                return []
         newly: List[Proposal] = []
         for node in reversed(chain):
             if node.is_genesis:

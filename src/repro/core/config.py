@@ -55,6 +55,11 @@ class SpotLessConfig:
         ``"digest"`` (the paper's request-to-instance assignment by digest,
         Section 5) or ``"client"`` (RCC-style static client-to-instance
         binding), used by the load-balance ablation.
+    checkpoint_interval:
+        Checkpoint interval K of the recovery subsystem: the execution
+        frontier is checkpointed (and per-view protocol state garbage
+        collected) every K executed views.  0 disables checkpointing and
+        state transfer.
     """
 
     num_replicas: int
@@ -70,6 +75,7 @@ class SpotLessConfig:
     view_sync_mode: str = "rvs"
     timeout_policy: str = "adaptive"
     assignment_policy: str = "digest"
+    checkpoint_interval: int = 16
 
     COMMIT_RULES = ("three-view", "two-view")
     VIEW_SYNC_MODES = ("rvs", "gst")
@@ -92,6 +98,8 @@ class SpotLessConfig:
             raise ValueError(f"timeout_policy must be one of {self.TIMEOUT_POLICIES}")
         if self.assignment_policy not in self.ASSIGNMENT_POLICIES:
             raise ValueError(f"assignment_policy must be one of {self.ASSIGNMENT_POLICIES}")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be non-negative (0 disables)")
         object.__setattr__(self, "num_instances", instances)
         object.__setattr__(self, "_quorum_params", QuorumParams.spotless(self.num_replicas))
 

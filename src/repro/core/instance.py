@@ -760,6 +760,70 @@ class SpotLessInstance:
             self.env.on_commit(self.instance_id, committed)
 
     # ------------------------------------------------------------------
+    # recovery hooks used by the checkpoint / state-transfer subsystem
+    # ------------------------------------------------------------------
+
+    def retry_missing_payloads(self) -> int:
+        """Re-issue Ask-recovery for prepared proposals still missing payloads.
+
+        ``_send_ask`` deduplicates per digest, so an Ask swallowed while this
+        replica (or the asked holder) was crashed would never be retried and
+        the chain would stay wedged on the missing payload forever.  Called
+        after a verified state transfer proves this replica fell behind: the
+        retry bypasses ``_send_ask`` (and its dedup) entirely and broadcasts
+        the Ask to every replica — at least n − f of which are non-faulty
+        and at least one of which holds any conditionally prepared
+        proposal's payload.  The digest is (re-)marked in
+        ``_asked_proposals`` so the normal path stays deduplicated.
+        """
+        retried = 0
+        for proposal in self.store.proposals():
+            if proposal.is_genesis or proposal.has_payload():
+                continue
+            if proposal.status < ProposalStatus.CONDITIONALLY_PREPARED:
+                continue
+            self._asked_proposals.add(proposal.digest)
+            ask = AskMessage(
+                instance=self.instance_id,
+                view=proposal.view,
+                claim=Claim(view=proposal.view, digest=proposal.digest),
+            )
+            self.asks_sent += 1
+            retried += 1
+            self.env.broadcast(ask)
+        return retried
+
+    def compact_below_view(self, floor_view: int) -> None:
+        """GC per-view protocol state below a stable checkpoint floor.
+
+        Sync logs, claim votes, CP endorsements and failure claims for views
+        below the floor can never influence a future quorum: the floor is
+        quorum-attested executed, so any view change or certificate built
+        from here on references views at or above it.
+        """
+        self._sync_log = {view: log for view, log in self._sync_log.items() if view >= floor_view}
+        self._claim_votes = {
+            statement: votes
+            for statement, votes in self._claim_votes.items()
+            if statement[0] >= floor_view
+        }
+        self._cp_endorsements = {
+            statement: endorsements
+            for statement, endorsements in self._cp_endorsements.items()
+            if statement[0] >= floor_view
+        }
+        self._failure_claims = {
+            view: claimants
+            for view, claimants in self._failure_claims.items()
+            if view >= floor_view
+        }
+        self._served_retransmissions = {
+            (view, requester)
+            for view, requester in self._served_retransmissions
+            if view >= floor_view
+        }
+
+    # ------------------------------------------------------------------
     # introspection helpers used by the node, tests and experiments
     # ------------------------------------------------------------------
 

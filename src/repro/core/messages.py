@@ -14,6 +14,11 @@ The message vocabulary follows Section 3:
 * ``Ask(v, claim(P))`` — sent by a replica that learned about ``P`` only via
   f + 1 Sync messages and needs the full proposal.
 * ``Inform`` — execution result returned to the client.
+
+Below the consensus vocabulary, every replica additionally speaks the
+recovery-layer messages (checkpoint votes and state requests/responses) —
+defined in :mod:`repro.recovery.messages` and re-exported here so the full
+wire surface of a SpotLess deployment is visible in one place.
 """
 
 from __future__ import annotations
@@ -24,6 +29,12 @@ from typing import Optional, Tuple
 from repro.crypto.authenticator import Signature
 from repro.crypto.certificates import Certificate
 from repro.net.message import Message
+from repro.recovery.messages import (
+    CheckpointCertificate,
+    CheckpointVote,
+    StateRequest,
+    StateResponse,
+)
 
 
 @dataclass(frozen=True)
@@ -182,11 +193,15 @@ class ClientSubmission(Message):
 
 __all__ = [
     "AskMessage",
+    "CheckpointCertificate",
+    "CheckpointVote",
     "Claim",
     "ClientSubmission",
     "CpEntry",
     "InformMessage",
     "ProposalForward",
     "ProposeMessage",
+    "StateRequest",
+    "StateResponse",
     "SyncMessage",
 ]

@@ -14,7 +14,7 @@ cross-instance total order and its contiguity-aware execution frontier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.chain import Proposal
@@ -31,6 +31,7 @@ from repro.core.messages import (
 from repro.ledger.execution import make_noop_transaction
 from repro.net.message import Message
 from repro.net.sizes import MessageSizeModel
+from repro.recovery.messages import CheckpointCertificate, SlotEntry, SlotRecord
 from repro.runtime.mempool import AdmitResult
 from repro.runtime.replica import ReplicaRuntime
 from repro.sim.engine import Simulator
@@ -104,6 +105,15 @@ class SpotLessReplica(ReplicaRuntime):
         self._max_committed_view: Dict[int, int] = {i: -1 for i in range(config.num_instances)}
         self._next_execution_view = 0
         self.commit_log: List[CommitRecord] = []
+        # Views strictly below this floor are settled — either executed here
+        # in contiguous order, or covered by a verified state transfer whose
+        # records were ingested — so execution below the floor needs no
+        # per-instance contiguity proof and records below it may be GC'd.
+        self._execution_floor_view = 0
+        # SpotLess orders by (view, instance) itself; the per-view fold into
+        # the checkpoint manager happens in _advance_execution, not in the
+        # shared pipeline's per-position path.
+        self.pipeline.on_executed = None
 
         self.instances: Dict[int, SpotLessInstance] = {}
         for instance_id in range(config.num_instances):
@@ -216,13 +226,19 @@ class SpotLessReplica(ReplicaRuntime):
             instance.start()
 
     def on_message(self, sender: int, payload: object) -> None:
-        """Route a delivered message to the right instance or handler."""
+        """Route a delivered message to the right instance or handler.
+
+        Transactions and the recovery-layer messages (checkpoint votes,
+        state requests/responses) are handled by the shared runtime; only
+        ``(instance, message)`` tuples reach the SpotLess dispatch below.
+        """
         if isinstance(payload, ClientSubmission):
             # The full transaction travels with the submission in the simulator.
             return
-        if isinstance(payload, Transaction):
-            self.submit_transaction(payload)
-            return
+        super().on_message(sender, payload)
+
+    def on_protocol_message(self, sender: int, payload: object) -> None:
+        """Dispatch an ``(instance, message)`` tuple to its consensus instance."""
         if isinstance(payload, tuple) and len(payload) == 2:
             instance_id, message = payload
             self._dispatch(sender, instance_id, message)
@@ -272,11 +288,18 @@ class SpotLessReplica(ReplicaRuntime):
         execution may skip them; views beyond the prefix must wait until
         Ask-recovery fills the gap, otherwise a recovering replica could
         execute a subsequence of the order its peers executed.
+
+        Views below the execution floor are settled (executed or covered by
+        a verified state transfer), so the walk starts there and parent
+        links pointing below the floor count as inside the prefix.
         """
         records = self._committed_by_view[instance_id]
         store = self.instances[instance_id].store
-        frontier = -1
+        floor = self._execution_floor_view
+        frontier = floor - 1
         for view in sorted(records):
+            if view < floor:
+                continue
             record = records[view]
             parent_view = record.parent_view
             if parent_view is None:
@@ -287,7 +310,7 @@ class SpotLessReplica(ReplicaRuntime):
                     parent_view = proposal.parent_view
             if parent_view is None or parent_view > frontier:
                 break
-            if parent_view >= 0 and parent_view not in records:
+            if parent_view >= floor and parent_view not in records:
                 break
             frontier = view
         return frontier
@@ -303,16 +326,20 @@ class SpotLessReplica(ReplicaRuntime):
         deterministically; everything else is fetched via Ask-recovery).
         Missing chain segments or payloads stall the execution frontier until
         they arrive, exactly as the paper requires replicas to recover full
-        proposals before executing them.
+        proposals before executing them.  Views below the execution floor
+        are covered by a verified state transfer: their ingested records
+        execute without a per-instance contiguity proof, because the
+        checkpoint certificate already attests the exact content.
         """
         while True:
-            frontier = min(
-                self._instance_execution_frontier(instance_id)
-                for instance_id in range(self.config.num_instances)
-            )
-            if frontier < self._next_execution_view:
-                return
             view = self._next_execution_view
+            if view >= self._execution_floor_view:
+                frontier = min(
+                    self._instance_execution_frontier(instance_id)
+                    for instance_id in range(self.config.num_instances)
+                )
+                if frontier < view:
+                    return
             resolved: List[Tuple[CommitRecord, List[Transaction]]] = []
             for instance_id in range(self.config.num_instances):
                 record = self._committed_by_view[instance_id].get(view)
@@ -325,6 +352,29 @@ class SpotLessReplica(ReplicaRuntime):
             for record, transactions in resolved:
                 self.pipeline.execute(transactions, view=record.view, instance=record.instance)
             self._next_execution_view += 1
+            if self.checkpoints.enabled:
+                self._fold_executed_view(view, resolved)
+
+    def _fold_executed_view(
+        self, view: int, resolved: List[Tuple[CommitRecord, List[Transaction]]]
+    ) -> None:
+        """Fold one executed view into the checkpoint manager's digest chain.
+
+        The fold covers the agreement-fixed content of the view: the records
+        executed across instances (ascending instance order), each with its
+        proposal digest and transaction digests.  Views with no committed
+        record fold as empty, so every replica folds the same sequence.
+        """
+        records = tuple(
+            SlotRecord(
+                view=record.view,
+                instance=record.instance,
+                transaction_digests=tuple(t.digest() for t in transactions),
+                slot_digest=record.proposal_digest,
+            )
+            for record, transactions in resolved
+        )
+        self._record_executed_entry(SlotEntry(position=view, records=records))
 
     def _resolve_transactions(self, record: CommitRecord) -> Optional[List[Transaction]]:
         """Look up the payloads of a committed record.
@@ -353,6 +403,75 @@ class SpotLessReplica(ReplicaRuntime):
                     return None
             transactions.append(transaction)
         return transactions
+
+    # ------------------------------------------------------------------
+    # recovery: state transfer, checkpoint GC and Ask rewiring
+    # ------------------------------------------------------------------
+
+    def _apply_state_entries(
+        self, entries: Tuple[SlotEntry, ...], certificate: CheckpointCertificate
+    ) -> None:
+        """Ingest verified transferred views into the cross-instance order.
+
+        Each entry is one view of the global order with the records the
+        cluster committed across instances.  Records this replica already
+        holds are upgraded in place (a commit known only by reference gains
+        its certified digests); missing ones are created.  The certificate's
+        position then becomes the execution floor, and the stalled frontier
+        replays straight through the transferred range.
+        """
+        for entry in entries:
+            for record in entry.records:
+                by_view = self._committed_by_view.get(record.instance)
+                if by_view is None:
+                    continue  # instance id outside this deployment
+                existing = by_view.get(entry.position)
+                if existing is None:
+                    commit = CommitRecord(
+                        view=entry.position,
+                        instance=record.instance,
+                        proposal_digest=record.slot_digest,
+                        transaction_digests=record.transaction_digests,
+                        parent_view=None,
+                        has_payload=True,
+                    )
+                    by_view[entry.position] = commit
+                    self._max_committed_view[record.instance] = max(
+                        self._max_committed_view[record.instance], entry.position
+                    )
+                    self.commit_log.append(commit)
+                elif not existing.has_payload:
+                    by_view[entry.position] = replace(
+                        existing,
+                        transaction_digests=record.transaction_digests,
+                        has_payload=True,
+                    )
+        self._execution_floor_view = max(self._execution_floor_view, certificate.position)
+        self._advance_execution()
+
+    def on_stable_checkpoint(self, certificate: CheckpointCertificate) -> None:
+        """GC per-view state below the stable floor (executed views only)."""
+        self._execution_floor_view = max(
+            self._execution_floor_view, min(certificate.position, self._next_execution_view)
+        )
+        gc_floor = min(self._execution_floor_view, self._next_execution_view)
+        for records in self._committed_by_view.values():
+            for view in [v for v in records if v < gc_floor]:
+                del records[view]
+        for instance in self.instances.values():
+            instance.compact_below_view(gc_floor)
+
+    def on_state_transferred(self, certificate: Optional[CheckpointCertificate]) -> None:
+        """Ask-recovery wiring for healed replicas (Section 3.3/3.5).
+
+        A state transfer proves this replica fell behind; above the floor,
+        commits recovered through Syncs may still reference proposals whose
+        payloads never arrived (the original Ask was swallowed while the
+        replica or its peer was down).  Re-issuing the Asks un-wedges the
+        per-instance chains so normal execution resumes past the floor.
+        """
+        for instance in self.instances.values():
+            instance.retry_missing_payloads()
 
     # ------------------------------------------------------------------
     # introspection

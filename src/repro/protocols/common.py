@@ -30,6 +30,10 @@ class BftConfig:
     view_change_timeout: float = 0.5
     pipeline_depth: int = 16
     num_instances: int = 1
+    # Checkpoint interval K of the recovery subsystem: the execution frontier
+    # is checkpointed (and per-slot protocol state garbage-collected) every K
+    # executed positions.  0 disables checkpointing and state transfer.
+    checkpoint_interval: int = 16
 
     def __post_init__(self) -> None:
         if self.num_replicas < 4:
@@ -40,6 +44,8 @@ class BftConfig:
             raise ValueError("pipeline_depth must be positive")
         if not 1 <= self.num_instances <= self.num_replicas:
             raise ValueError("num_instances must satisfy 1 <= m <= n")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be non-negative (0 disables)")
         object.__setattr__(self, "_quorum_params", QuorumParams.bft(self.num_replicas))
 
     @property

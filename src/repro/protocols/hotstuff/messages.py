@@ -79,4 +79,62 @@ class HsNewView(Message):
         return ("hs-newview", self.view, qc_fields)
 
 
-__all__ = ["HsNewView", "HsProposal", "HsVote", "QuorumCert"]
+@dataclass(frozen=True)
+class HsNodeData(Message):
+    """One chain node shipped during chain synchronisation.
+
+    The receiver recomputes the node digest from (view, parent, batch) and
+    discards entries whose digest does not match — a Byzantine responder
+    cannot forge chain content.
+    """
+
+    digest: bytes
+    view: int
+    parent_digest: bytes
+    transaction_digests: Tuple[bytes, ...]
+    justify: Optional[QuorumCert] = None
+
+    def canonical_fields(self) -> tuple:
+        """Canonical encoding for authentication."""
+        justify_fields = self.justify.canonical_fields() if self.justify else None
+        return (
+            "hs-node-data",
+            self.digest,
+            self.view,
+            self.parent_digest,
+            self.transaction_digests,
+            justify_fields,
+        )
+
+
+@dataclass(frozen=True)
+class HsChainRequest(Message):
+    """Ask a peer for the ancestors of a chain node we only know by QC."""
+
+    node_digest: bytes
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        return ("hs-chain-request", self.node_digest)
+
+
+@dataclass(frozen=True)
+class HsChainResponse(Message):
+    """A chain segment walking certified ancestors toward the committed prefix."""
+
+    nodes: Tuple[HsNodeData, ...]
+
+    def canonical_fields(self) -> tuple:
+        """Fields covered by authentication."""
+        return ("hs-chain-response", tuple(node.canonical_fields() for node in self.nodes))
+
+
+__all__ = [
+    "HsChainRequest",
+    "HsChainResponse",
+    "HsNewView",
+    "HsNodeData",
+    "HsProposal",
+    "HsVote",
+    "QuorumCert",
+]

@@ -9,9 +9,31 @@ from repro.crypto.digest import digest_bytes
 from repro.net.message import Message
 from repro.net.sizes import MessageSizeModel
 from repro.protocols.common import BftConfig, BftReplicaBase
-from repro.protocols.hotstuff.messages import HsNewView, HsProposal, HsVote, QuorumCert
+from repro.protocols.hotstuff.messages import (
+    HsChainRequest,
+    HsChainResponse,
+    HsNewView,
+    HsNodeData,
+    HsProposal,
+    HsVote,
+    QuorumCert,
+)
+from repro.recovery.messages import CheckpointCertificate, SlotEntry, SlotRecord
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
+
+
+def chain_node_digest(view: int, parent_digest: bytes, transaction_digests: Tuple[bytes, ...]) -> bytes:
+    """The content-derived digest of a chain node.
+
+    Exposed as a function so chain sync and state transfer can *recompute*
+    digests from shipped content instead of trusting a peer's claim.
+    """
+    return digest_bytes(("hs-node", view, parent_digest, tuple(transaction_digests)))
+
+
+#: Longest ancestor segment shipped per chain-sync response.
+CHAIN_SYNC_LIMIT = 64
 
 
 GENESIS_NODE_DIGEST = digest_bytes(("hotstuff-genesis",))
@@ -77,9 +99,19 @@ class HotStuffReplica(BftReplicaBase):
         self._new_views: Dict[int, Set[int]] = {}
         self._proposed_in_view: Set[int] = set()
         self._committed_height = 0
+        # Digest of the committed chain node at each global-order position;
+        # state transfer re-anchors the chain by reconstructing this list.
+        self._position_digests: List[bytes] = []
+        # Nodes whose commit cascaded into a dangling (unconnected) chain;
+        # retried once chain sync or state transfer fills the gap.
+        self._pending_commit_roots: Set[bytes] = set()
+        # Chain-sync dedup: digest -> view in which it was last requested.
+        self._chain_requested: Dict[bytes, int] = {}
         self._view_timer: Optional[object] = None
         self.view_timeouts = 0
         self.proposals_made = 0
+        self.chain_syncs_requested = 0
+        self.chain_syncs_served = 0
 
     # ------------------------------------------------------------------
 
@@ -145,7 +177,7 @@ class HotStuffReplica(BftReplicaBase):
             # a later proposal's justify chain back-fills the gap.
             return
         batch = self.take_batch(allow_empty=True) or ()
-        digest = digest_bytes(("hs-node", view, parent.digest, tuple(batch)))
+        digest = chain_node_digest(view, parent.digest, tuple(batch))
         proposal = HsProposal(
             view=view,
             node_digest=digest,
@@ -172,6 +204,8 @@ class HotStuffReplica(BftReplicaBase):
             return self.size_model.proposal_bytes() + self.size_model.certificate_bytes(qc_signatures)
         if isinstance(message, HsNewView):
             return self.size_model.control_bytes() + self.size_model.certificate_bytes(qc_signatures)
+        if isinstance(message, HsChainResponse):
+            return self.size_model.control_bytes() + len(message.nodes) * self.size_model.proposal_bytes()
         return self.size_model.control_bytes(signatures=1)
 
     def on_protocol_message(self, sender: int, payload: object) -> None:
@@ -182,12 +216,28 @@ class HotStuffReplica(BftReplicaBase):
             self._on_vote(sender, payload)
         elif isinstance(payload, HsNewView):
             self._on_new_view(sender, payload)
+        elif isinstance(payload, HsChainRequest):
+            self._on_chain_request(sender, payload)
+        elif isinstance(payload, HsChainResponse):
+            self._on_chain_response(sender, payload)
 
     # -- proposals ------------------------------------------------------
+
+    def _upgrade_justify(self, node: ChainNode, justify: Optional[QuorumCert]) -> None:
+        """Adopt a validated QC for a node recorded without one.
+
+        The node digest deliberately excludes the justify, so an earlier
+        copy (e.g. a synced chain segment from a Byzantine peer that
+        stripped the QCs) may lack it; without the upgrade a justify-less
+        copy would suppress the three-chain commit rule forever.
+        """
+        if node.justify is None and justify is not None:
+            node.justify = justify
 
     def _record_node(self, proposal: HsProposal) -> ChainNode:
         node = self.nodes.get(proposal.node_digest)
         if node is not None:
+            self._upgrade_justify(node, proposal.justify)
             return node
         parent = self.nodes.get(proposal.parent_digest)
         height = parent.height + 1 if parent is not None else 1
@@ -227,7 +277,14 @@ class HotStuffReplica(BftReplicaBase):
                 return
         self._update_high_qc(proposal.justify)
         node = self._record_node(proposal)
-        self._apply_commit_rules(node)
+        # Chain sync: a proposal referencing ancestors we never received
+        # (crash, partition, or an A2 attacker withholding proposals) walks
+        # the certified chain back from the received QC.
+        if proposal.justify is not None and proposal.justify.node_digest not in self.nodes:
+            self._request_chain(sender, proposal.justify.node_digest)
+        if proposal.parent_digest not in self.nodes:
+            self._request_chain(sender, proposal.parent_digest)
+        self._apply_commit_rules(node, sender)
         if proposal.view < self.view or proposal.view in self.voted_views:
             return
         if not self._safe_node(node, proposal.justify):
@@ -277,7 +334,7 @@ class HotStuffReplica(BftReplicaBase):
     # commit rules
     # ------------------------------------------------------------------
 
-    def _apply_commit_rules(self, node: ChainNode) -> None:
+    def _apply_commit_rules(self, node: ChainNode, sender: Optional[int] = None) -> None:
         """Three-chain commit: b'' ← b' ← b with consecutive views commits b.
 
         ``node`` is the newest chain node; its justify certifies the parent,
@@ -295,29 +352,222 @@ class HotStuffReplica(BftReplicaBase):
         if great is None:
             return
         if parent.view == grandparent.view + 1 and grandparent.view == great.view + 1:
-            self._commit_chain(great)
+            missing = self._commit_chain(great)
+            if missing is not None:
+                self._request_chain(sender if sender is not None else self.leader_of(node.view), missing)
 
-    def _commit_chain(self, node: ChainNode) -> None:
+    def _commit_chain(self, node: ChainNode) -> Optional[bytes]:
+        """Commit ``node`` and its uncommitted ancestor chain, oldest first.
+
+        Returns the digest of the first missing ancestor when the chain does
+        not connect to our committed prefix: some ancestor was never received
+        (e.g. while down or partitioned).  Committing the dangling suffix
+        would assign it wrong positions and fork execution, so the node is
+        parked in ``_pending_commit_roots`` until chain sync or state
+        transfer back-fills the gap.
+        """
         chain: List[ChainNode] = []
         current: Optional[ChainNode] = node
+        missing: Optional[bytes] = None
         while current is not None and not current.committed:
             chain.append(current)
-            current = self.nodes.get(current.parent_digest) if current.parent_digest else None
+            if current.parent_digest is None:
+                current = None
+                break
+            missing = current.parent_digest
+            current = self.nodes.get(current.parent_digest)
         if current is None:
-            # The chain does not connect to our committed prefix: some
-            # ancestor was never received (e.g. while down or partitioned).
-            # Committing the dangling suffix would assign it wrong positions
-            # and fork execution, so wait until the gap is back-filled.
-            return
+            self._pending_commit_roots.add(node.digest)
+            return missing
+        self._pending_commit_roots.discard(node.digest)
         for member in reversed(chain):
             member.committed = True
             self._committed_height += 1
+            self._position_digests.append(member.digest)
             self.deliver_batch(
                 self._committed_height - 1,
                 member.transaction_digests,
                 view=member.view,
                 instance=0,
             )
+        return None
+
+    # ------------------------------------------------------------------
+    # chain synchronisation and recovery
+    # ------------------------------------------------------------------
+
+    def _request_chain(self, target: int, node_digest: bytes) -> None:
+        """Ask ``target`` for the ancestor chain of an unknown node."""
+        known = self.nodes.get(node_digest)
+        if known is not None or node_digest == GENESIS_NODE_DIGEST:
+            return
+        if self._chain_requested.get(node_digest) == self.view:
+            return  # one request per missing digest per view
+        if target == self.node_id:
+            return
+        self._chain_requested[node_digest] = self.view
+        self.chain_syncs_requested += 1
+        request = HsChainRequest(node_digest=node_digest)
+        self.send(target, request, self._size_of(request))
+
+    def _on_chain_request(self, sender: int, request: HsChainRequest) -> None:
+        """Serve a chain segment walking ancestors toward the committed prefix."""
+        segment: List[HsNodeData] = []
+        current = self.nodes.get(request.node_digest)
+        while (
+            current is not None
+            and current.digest != GENESIS_NODE_DIGEST
+            and len(segment) < CHAIN_SYNC_LIMIT
+        ):
+            segment.append(
+                HsNodeData(
+                    digest=current.digest,
+                    view=current.view,
+                    parent_digest=current.parent_digest or GENESIS_NODE_DIGEST,
+                    transaction_digests=current.transaction_digests,
+                    justify=current.justify,
+                )
+            )
+            if current.committed:
+                # The requester's committed prefix meets ours at or below
+                # this node; one committed anchor is enough to connect.
+                break
+            current = self.nodes.get(current.parent_digest) if current.parent_digest else None
+        if not segment:
+            return
+        self.chain_syncs_served += 1
+        response = HsChainResponse(nodes=tuple(segment))
+        self.send(sender, response, self._size_of(response))
+
+    def _on_chain_response(self, sender: int, response: HsChainResponse) -> None:
+        """Record verified chain nodes and retry parked commit cascades.
+
+        Responses ship newest-to-oldest; recording oldest-first means each
+        node's parent is already present when the node is inserted, so the
+        ``height`` bookkeeping stays consistent with real chain depth.
+        """
+        if not response.nodes or response.nodes[0].digest not in self._chain_requested:
+            # Unsolicited segments are dropped: a genuine response always
+            # starts at a digest this replica asked for.
+            return
+        deepest_missing: Optional[bytes] = None
+        for data in reversed(response.nodes):
+            # Recompute the digest from content: forged nodes are discarded,
+            # and a node carrying a below-quorum justify is dropped outright
+            # (honest genesis-pointing QCs always carry a full signer set).
+            if data.digest != chain_node_digest(data.view, data.parent_digest, data.transaction_digests):
+                continue
+            if data.justify is not None and not data.justify.is_valid(
+                self.config.num_replicas - self.config.f
+            ):
+                continue
+            existing = self.nodes.get(data.digest)
+            if existing is not None:
+                self._upgrade_justify(existing, data.justify)
+            else:
+                parent = self.nodes.get(data.parent_digest)
+                self.nodes[data.digest] = ChainNode(
+                    digest=data.digest,
+                    view=data.view,
+                    parent_digest=data.parent_digest,
+                    transaction_digests=data.transaction_digests,
+                    justify=data.justify,
+                    height=parent.height + 1 if parent is not None else 1,
+                )
+            if (
+                deepest_missing is None
+                and data.parent_digest not in self.nodes
+                and data.parent_digest != GENESIS_NODE_DIGEST
+            ):
+                # Oldest-first iteration: the first missing parent is the
+                # deepest gap to keep walking toward.
+                deepest_missing = data.parent_digest
+        for digest in list(self._pending_commit_roots):
+            node = self.nodes.get(digest)
+            if node is not None:
+                self._commit_chain(node)
+        if deepest_missing is not None and self._pending_commit_roots:
+            # Still not connected: keep walking the chain backwards.
+            self._request_chain(sender, deepest_missing)
+
+    def _on_position_executed(
+        self, position: int, digests: Tuple[bytes, ...], view: int, instance: int
+    ) -> None:
+        """Fold the committed chain node's digest into the checkpoint chain.
+
+        Carrying the node digest as the record's ``slot_digest`` makes the
+        chain anchor itself certified content: a state-transfer responder
+        cannot tamper with any anchoring input (the ``view`` field alone is
+        excluded from the fold, but the node digest covers it), so the
+        re-anchoring below always reproduces the cluster's real chain.
+        """
+        slot_digest = (
+            self._position_digests[position] if position < len(self._position_digests) else b""
+        )
+        record = SlotRecord(
+            view=view,
+            instance=instance,
+            transaction_digests=tuple(digests),
+            slot_digest=slot_digest,
+        )
+        self._record_executed_entry(SlotEntry(position=position, records=(record,)))
+
+    def _apply_state_entries(
+        self, entries: Tuple[SlotEntry, ...], certificate: CheckpointCertificate
+    ) -> None:
+        """Replay certified content and re-anchor the committed chain.
+
+        Each certified record carries the committed node's digest (see
+        ``_on_position_executed``), so the committed chain the transfer
+        covers is re-anchored from quorum-attested digests: the rebuilt tip
+        becomes a committed anchor that later proposals' ancestor walks
+        connect to, which keeps position numbering identical to the rest of
+        the cluster.
+        """
+        for entry in entries:
+            if entry.position != len(self._position_digests) or not entry.records:
+                continue  # position already delivered by our own chain
+            record = entry.records[0]
+            parent = self._position_digests[-1] if self._position_digests else GENESIS_NODE_DIGEST
+            # The certified slot digest is authoritative; recomputation from
+            # the record's fields is only a fallback for responses that did
+            # not carry one.
+            digest = record.slot_digest or chain_node_digest(
+                record.view, parent, record.transaction_digests
+            )
+            node = self.nodes.get(digest)
+            if node is None:
+                node = ChainNode(
+                    digest=digest,
+                    view=record.view,
+                    parent_digest=parent,
+                    transaction_digests=record.transaction_digests,
+                    justify=None,
+                    height=entry.position + 1,
+                    committed=True,
+                )
+                self.nodes[digest] = node
+            else:
+                node.committed = True
+            self._position_digests.append(digest)
+        self._committed_height = max(self._committed_height, len(self._position_digests))
+        super()._apply_state_entries(entries, certificate)
+        # The new anchor may connect previously dangling commit cascades.
+        for digest in list(self._pending_commit_roots):
+            node = self.nodes.get(digest)
+            if node is not None:
+                self._commit_chain(node)
+
+    def on_stable_checkpoint(self, certificate: CheckpointCertificate) -> None:
+        """GC per-view vote state: tallies for long-decided views are dead."""
+        horizon = self.view - 2
+        self._votes = {key: voters for key, voters in self._votes.items() if key[0] >= horizon}
+        self._new_views = {view: s for view, s in self._new_views.items() if view >= horizon}
+        self.voted_views = {view for view in self.voted_views if view >= horizon}
+        self._proposed_in_view = {view for view in self._proposed_in_view if view >= horizon}
+        self._chain_requested = {
+            digest: view for digest, view in self._chain_requested.items() if view >= horizon
+        }
 
     # ------------------------------------------------------------------
 

@@ -7,7 +7,7 @@ from typing import Optional
 from repro.net.message import Message
 from repro.net.sizes import MessageSizeModel
 from repro.protocols.common import BftConfig
-from repro.protocols.hotstuff.messages import HsNewView, HsProposal, HsVote
+from repro.protocols.hotstuff.messages import HsChainResponse, HsNewView, HsProposal, HsVote
 from repro.protocols.hotstuff.replica import HotStuffReplica
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
@@ -55,6 +55,9 @@ class NarwhalHsReplica(HotStuffReplica):
             return self.size_model.proposal_bytes() + certified_batch
         if isinstance(message, (HsVote, HsNewView)):
             return self.size_model.control_bytes(signatures=1) + certified_batch
+        if isinstance(message, HsChainResponse):
+            # Chain sync ships each synced node as a certified batch.
+            return self.size_model.control_bytes() + len(message.nodes) * certified_batch
         return self.size_model.control_bytes()
 
     def deliver_batch(self, position, transaction_digests, view=0, instance=0):  # type: ignore[override]

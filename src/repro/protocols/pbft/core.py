@@ -10,7 +10,7 @@ flight — and the view-change protocol for replacing an unresponsive primary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.protocols.common import BftConfig
 from repro.protocols.pbft.messages import (
@@ -20,6 +20,7 @@ from repro.protocols.pbft.messages import (
     PrePrepareMessage,
     ViewChangeMessage,
 )
+from repro.recovery.messages import CheckpointCertificate
 
 NOOP_BATCH: Tuple[bytes, ...] = ()
 
@@ -85,10 +86,22 @@ class PbftInstanceCore:
         self._future_messages: List[Tuple[int, object]] = []
         self._progress_timer: Optional[object] = None
         self._progress_deadline_armed = False
+        self._view_change_timer: Optional[object] = None
+
+        # Stable checkpoint floor: every sequence below it is quorum-attested
+        # executed (recoverable via state transfer), so its per-slot state is
+        # garbage-collected and view-change votes reference the floor instead
+        # of carrying the full since-genesis history.
+        self.checkpoint_floor = 0
+        self.stable_checkpoint: Optional[CheckpointCertificate] = None
+        # Highest view seen per sender among future-view messages; f + 1
+        # distinct senders ahead of us prove a legitimate NewView we missed.
+        self._future_view_seen: Dict[int, int] = {}
 
         self.view_changes = 0
         self.decided_batches = 0
         self.preprepares_sent = 0
+        self.views_adopted = 0
 
     # ------------------------------------------------------------------
 
@@ -164,10 +177,42 @@ class PbftInstanceCore:
         permanent holes in the slot space, so they are replayed once the
         view advances.
         """
-        if getattr(message, "view", self.view) <= self.view:
+        view = getattr(message, "view", self.view)
+        if view <= self.view:
             return False
         self._future_messages.append((sender, message))
+        self._future_view_seen[sender] = max(self._future_view_seen.get(sender, -1), view)
+        self._maybe_adopt_future_view()
         return True
+
+    def _maybe_adopt_future_view(self) -> None:
+        """Adopt a view that f + 1 distinct replicas are provably operating in.
+
+        A replica that was down or partitioned through a view change never
+        received the NewView message and would buffer the new view's traffic
+        forever.  f + 1 senders emitting messages in views above ours include
+        at least one non-faulty replica, and a non-faulty replica only enters
+        a view through a NewView with 2f + 1 support — so the view is
+        legitimate and we can join it (missed re-proposals below the floor
+        are recovered through state transfer).
+        """
+        higher = sorted(
+            (view for view in self._future_view_seen.values() if view > self.view),
+            reverse=True,
+        )
+        if len(higher) < self.config.weak_quorum:
+            return
+        target = higher[self.config.weak_quorum - 1]
+        if target <= self.view:
+            return
+        self.view = target
+        self.views_adopted += 1
+        self._cancel_progress_timer()
+        self._cancel_view_change_timer()
+        self._view_change_votes = {
+            v: votes for v, votes in self._view_change_votes.items() if v > self.view
+        }
+        self._replay_future_messages()
 
     def _replay_future_messages(self) -> None:
         ready = [(s, m) for s, m in self._future_messages if m.view <= self.view]
@@ -295,14 +340,13 @@ class PbftInstanceCore:
         """Broadcast a ViewChange message for ``new_view``.
 
         The vote reports the *contiguous* decided prefix (a decided ``max``
-        would hide holes) and carries the content of **every** slot this
-        replica knows content for — committed, prepared, or merely received.
-        There are no stable checkpoints in this implementation, so — exactly
-        as in textbook PBFT with a genesis checkpoint — the certificates
-        since genesis must travel with the vote: a slot this replica
-        committed may be missing entirely on a quorum member that was down
-        or partitioned, and only the re-proposal's digests let it re-quorum
-        and execute it.  Merely-received content must travel too, because
+        would hide holes) and carries the content of every slot **above the
+        stable checkpoint floor** this replica knows content for — committed,
+        prepared, or merely received.  Below the floor the content is quorum
+        attested and recoverable via state transfer, so the vote references
+        the floor (plus its certificate) instead of carrying the slots: that
+        bounds the vote to O(K) slots rather than O(history).  Above the
+        floor, merely-received content must still travel, because
         ``on_new_view`` rebuilds re-proposed slots with ``prepared=False``:
         restricting votes to currently-prepared slots would forget the old
         certificate between two rapid view changes, and a slot committed
@@ -315,15 +359,78 @@ class PbftInstanceCore:
         prepared_slots = tuple(
             (slot.sequence, slot.view, slot.digests)
             for slot in self.slots.values()
-            if slot.digests is not None
+            if slot.digests is not None and slot.sequence >= self.checkpoint_floor
         )
         message = ViewChangeMessage(
             instance=self.instance_id,
             new_view=new_view,
             last_executed=self.decided_frontier,
             prepared_slots=prepared_slots,
+            checkpoint_floor=self.checkpoint_floor,
+            checkpoint=self.stable_checkpoint,
         )
         self.env.broadcast(message)
+        self._arm_view_change_escalation(new_view)
+
+    def _arm_view_change_escalation(self, awaited_view: int) -> None:
+        """Escalate to the next view if the awaited NewView never arrives.
+
+        The primary of the awaited view can itself be faulty (two crashed
+        replicas can be consecutive in the rotation); without escalation
+        every replica would wait forever for a NewView that nobody can send
+        and the instance would wedge permanently.
+        """
+        self._cancel_view_change_timer()
+        self._view_change_timer = self.env.set_timer(
+            f"pbft-{self.instance_id}-viewchange-{awaited_view}",
+            self.config.view_change_timeout,
+            lambda: self._on_view_change_timeout(awaited_view),
+        )
+
+    def _cancel_view_change_timer(self) -> None:
+        if self._view_change_timer is not None:
+            self.env.cancel_timer(self._view_change_timer)
+            self._view_change_timer = None
+
+    def _on_view_change_timeout(self, awaited_view: int) -> None:
+        self._view_change_timer = None
+        if not self.active or self.view >= awaited_view:
+            return
+        self.request_view_change(awaited_view + 1)
+
+    def floor_of_position(self, position: int) -> int:
+        """Sequence floor implied by a checkpoint at global-order ``position``.
+
+        Global positions interleave the instances (``seq * m + instance``),
+        so positions [0, P) cover every sequence strictly below ``P // m``
+        in every instance; standalone PBFT (m = 1) maps one-to-one.  The
+        single source of this arithmetic: the replicas installing floors and
+        the view-change validation below must agree on it.
+        """
+        return position // max(1, self.config.num_instances)
+
+    def note_stable_checkpoint(
+        self, floor_sequence: int, certificate: Optional[CheckpointCertificate] = None
+    ) -> None:
+        """Install a stable checkpoint floor and GC per-slot state below it.
+
+        Every sequence below ``floor_sequence`` is quorum-attested executed:
+        its votes and batch content will never be needed again (a lagging
+        replica recovers them through state transfer), so the slot state is
+        dropped and the decided frontier advances to the floor.  Only
+        certified floors reach this method — uncertified slots are never
+        garbage-collected.
+        """
+        if floor_sequence <= self.checkpoint_floor:
+            return
+        self.checkpoint_floor = floor_sequence
+        if certificate is not None:
+            self.stable_checkpoint = certificate
+        self.decided_frontier = max(self.decided_frontier, floor_sequence - 1)
+        self.last_decided_sequence = max(self.last_decided_sequence, floor_sequence - 1)
+        self.next_sequence = max(self.next_sequence, floor_sequence)
+        for sequence in [s for s in self.slots if s < floor_sequence]:
+            del self.slots[sequence]
 
     def on_view_change(self, sender: int, message: ViewChangeMessage) -> None:
         """Collect ViewChange votes; the new primary announces NewView at 2f + 1."""
@@ -335,6 +442,22 @@ class PbftInstanceCore:
             return
         if self.primary_of(message.new_view) != self.env.replica_id:
             return
+        # The new view starts at the highest *certified* checkpoint floor any
+        # quorum member reports: everything below it is quorum-attested
+        # executed and recoverable via state transfer, so it is neither
+        # re-proposed nor re-affirmed (this is what keeps NewView bounded by
+        # K instead of the full history).  The claimed floor must be bound
+        # to the certificate's position — a bare integer in the vote would
+        # let one Byzantine voter fabricate an arbitrarily high floor and
+        # wedge the instance by suppressing every re-proposal.
+        certified_floor = self.checkpoint_floor
+        for vote in votes.values():
+            if vote.checkpoint is None or vote.checkpoint_floor <= certified_floor:
+                continue
+            if vote.checkpoint_floor != self.floor_of_position(vote.checkpoint.position):
+                continue
+            if vote.checkpoint.has_quorum(self.quorum, self.config.num_replicas):
+                certified_floor = vote.checkpoint_floor
         # Re-propose every slot prepared by any member of the quorum, taking
         # the highest-view certificate per slot (PBFT's selection rule): an
         # older-view preparation may have been superseded by content that
@@ -354,21 +477,29 @@ class PbftInstanceCore:
                 if current is None or slot.view > current[0]:
                     best[slot.sequence] = (slot.view, slot.digests)
         reproposals: Dict[int, Tuple[bytes, ...]] = {
-            sequence: digests for sequence, (_view, digests) in best.items()
+            sequence: digests
+            for sequence, (_view, digests) in best.items()
+            if sequence >= certified_floor
         }
         # Fill the remaining holes with no-ops (PBFT's null requests): slots
         # nobody has content for would otherwise clog the pipeline window
         # forever and stall the global order.  The no-op fill is safe
-        # because votes carry their full content history: a slot committed
-        # anywhere had its content at 2f + 1 replicas, so every view-change
-        # quorum contains at least one vote carrying it — only slots whose
-        # content no quorum member ever received are filled with a no-op.
-        floor = max(
-            [self.decided_frontier] + [vote.last_executed for vote in votes.values()]
-        )
+        # because votes carry their full content history above the certified
+        # floor: a slot committed anywhere had its content at 2f + 1
+        # replicas, so every view-change quorum contains at least one vote
+        # carrying it — only slots whose content no quorum member ever
+        # received are filled with a no-op.
+        # The no-op fill floor takes the highest `last_executed` that f + 1
+        # voters support: a bare maximum would let one Byzantine voter claim
+        # an astronomically deep frontier, suppress the fill entirely, and
+        # wedge the pipeline on the unfilled holes.  An f+1-supported value
+        # includes at least one honest voter, so it is genuinely executed.
+        claimed = sorted((vote.last_executed for vote in votes.values()), reverse=True)
+        supported_executed = claimed[min(self.config.f, len(claimed) - 1)]
+        floor = max(self.decided_frontier, certified_floor - 1, supported_executed)
         known = [s.sequence for s in self.slots.values() if s.digests is not None]
         top = max([floor] + list(reproposals) + known)
-        for sequence in range(floor + 1, top + 1):
+        for sequence in range(max(floor + 1, certified_floor), top + 1):
             reproposals.setdefault(sequence, NOOP_BATCH)
         new_view_message = NewViewMessage(
             instance=self.instance_id,
@@ -389,6 +520,7 @@ class PbftInstanceCore:
         self.view = message.new_view
         self.view_changes += 1
         self._cancel_progress_timer()
+        self._cancel_view_change_timer()
         self._view_change_votes = {v: votes for v, votes in self._view_change_votes.items() if v > self.view}
         for sequence, digests in message.reproposals:
             slot = self._slot(sequence, self.view)

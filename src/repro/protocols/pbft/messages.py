@@ -7,9 +7,10 @@ reused by RCC, which runs one PBFT instance per replica.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.net.message import Message
+from repro.recovery.messages import CheckpointCertificate
 
 
 @dataclass(frozen=True)
@@ -75,24 +76,46 @@ class Checkpoint(Message):
 class ViewChangeMessage(Message):
     """Request to move ``instance`` to ``new_view``.
 
-    ``prepared_slots`` carries, for every slot the sender prepared in earlier
-    views, the ``(sequence, view, batch digests)`` triple — the information
-    the new primary needs to re-propose unfinished slots.
+    ``prepared_slots`` carries, for every slot *above the sender's stable
+    checkpoint floor* that the sender knows content for, the ``(sequence,
+    view, batch digests)`` triple — the information the new primary needs to
+    re-propose unfinished slots.  ``checkpoint`` is the sender's stable
+    checkpoint certificate: everything below ``checkpoint_floor`` is quorum
+    attested and recoverable via state transfer, so it does not travel with
+    the vote.  That bounds the vote to O(K) slots (K = checkpoint interval)
+    instead of the full since-genesis history.
     """
 
     instance: int
     new_view: int
     last_executed: int
     prepared_slots: Tuple[Tuple[int, int, Tuple[bytes, ...]], ...]
+    checkpoint_floor: int = 0
+    checkpoint: Optional[CheckpointCertificate] = None
 
     def canonical_fields(self) -> tuple:
         """Fields covered by authentication."""
-        return ("viewchange", self.instance, self.new_view, self.last_executed, self.prepared_slots)
+        checkpoint_fields = self.checkpoint.canonical_fields() if self.checkpoint else None
+        return (
+            "viewchange",
+            self.instance,
+            self.new_view,
+            self.last_executed,
+            self.prepared_slots,
+            self.checkpoint_floor,
+            checkpoint_fields,
+        )
 
 
 @dataclass(frozen=True)
 class NewViewMessage(Message):
-    """New primary's announcement of ``new_view`` with slots to re-propose."""
+    """New primary's announcement of ``new_view`` with slots to re-propose.
+
+    The re-proposals start at the certified checkpoint floor; replicas
+    lagging below it recover the missing prefix through state transfer
+    (driven by the certificates in ViewChange votes and checkpoint votes),
+    not through re-proposals, so the floor itself does not travel here.
+    """
 
     instance: int
     new_view: int

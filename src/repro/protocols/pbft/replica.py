@@ -15,6 +15,7 @@ from repro.protocols.pbft.messages import (
     PrePrepareMessage,
     ViewChangeMessage,
 )
+from repro.recovery.messages import CheckpointCertificate
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 
@@ -90,7 +91,20 @@ class PbftReplica(BftReplicaBase):
 
     def on_protocol_message(self, sender: int, payload: object) -> None:
         """Route consensus messages to the core."""
+        if isinstance(payload, ViewChangeMessage):
+            # A vote's stable checkpoint is an immediate gap signal for a
+            # healed replica.
+            self.adopt_checkpoint_gap_signal(payload.checkpoint)
         self.core.on_message(sender, payload)
+
+    def on_stable_checkpoint(self, certificate: CheckpointCertificate) -> None:
+        """A stable checkpoint formed: GC consensus state below the floor.
+
+        The pipeline position of standalone PBFT is the consensus sequence
+        number, so the certificate's position maps one-to-one onto the
+        core's checkpoint floor.
+        """
+        self.core.note_stable_checkpoint(certificate.position, certificate)
 
     # ------------------------------------------------------------------
 

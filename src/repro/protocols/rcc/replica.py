@@ -17,6 +17,7 @@ from repro.protocols.pbft.messages import (
     PrePrepareMessage,
     ViewChangeMessage,
 )
+from repro.recovery.messages import CheckpointCertificate
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.workload.requests import Transaction
@@ -133,6 +134,10 @@ class RccReplica(BftReplicaBase):
         if isinstance(payload, ComplaintMessage):
             self._on_complaint(sender, payload)
             return
+        if isinstance(payload, ViewChangeMessage):
+            # A vote's stable checkpoint is an immediate gap signal for a
+            # healed replica.
+            self.adopt_checkpoint_gap_signal(payload.checkpoint)
         instance_id = getattr(payload, "instance", None)
         core = self.cores.get(instance_id)
         if core is not None:
@@ -149,6 +154,20 @@ class RccReplica(BftReplicaBase):
         core = self.cores[instance]
         if core.is_primary():
             core.try_propose()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def on_stable_checkpoint(self, certificate: CheckpointCertificate) -> None:
+        """GC every instance core below the certified floor.
+
+        The position-to-sequence arithmetic lives in
+        :meth:`PbftInstanceCore.floor_of_position` so installers and the
+        view-change validation can never drift apart.
+        """
+        for core in self.cores.values():
+            core.note_stable_checkpoint(core.floor_of_position(certificate.position), certificate)
 
     # ------------------------------------------------------------------
     # complaints and exponential back-off

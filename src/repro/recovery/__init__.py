@@ -1,0 +1,50 @@
+"""Checkpoint and state-transfer subsystem shared by every protocol stack.
+
+The recovery layer lets a replica that missed decisions — crashed,
+partitioned, or starved by a Byzantine attacker — catch back up to the
+cluster instead of wedging behind it:
+
+* :class:`~repro.recovery.checkpoint.CheckpointManager` folds every executed
+  order unit into a rolling digest, broadcasts a checkpoint vote every K
+  units, and turns 2f + 1 matching votes into a stable-checkpoint
+  certificate — the garbage-collection floor and the anchor of all transfer
+  verification;
+* :class:`~repro.recovery.transfer.StateTransferEngine` detects execution
+  gaps (a stable certificate ahead of the local frontier), pulls the
+  certified slot content from the certificate's signers, verifies it by
+  re-folding the digest chain, and replays it through the execution path.
+
+Protocol adapters live with their protocols: PBFT/RCC reference the
+checkpoint floor from their view-change messages (bounding view-change cost
+by K instead of history), HotStuff/Narwhal-HS reconstruct and re-anchor
+their committed chain after a transfer, and SpotLess re-issues Ask-recovery
+for payloads still missing above the floor.
+"""
+
+from repro.recovery.checkpoint import (
+    GENESIS_EXECUTION_DIGEST,
+    CheckpointManager,
+    fold_entry,
+)
+from repro.recovery.messages import (
+    CheckpointCertificate,
+    CheckpointVote,
+    SlotEntry,
+    SlotRecord,
+    StateRequest,
+    StateResponse,
+)
+from repro.recovery.transfer import StateTransferEngine
+
+__all__ = [
+    "GENESIS_EXECUTION_DIGEST",
+    "CheckpointCertificate",
+    "CheckpointManager",
+    "CheckpointVote",
+    "SlotEntry",
+    "SlotRecord",
+    "StateRequest",
+    "StateResponse",
+    "StateTransferEngine",
+    "fold_entry",
+]

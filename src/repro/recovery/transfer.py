@@ -1,0 +1,197 @@
+"""Pull-based state transfer for replicas that fell behind.
+
+:class:`StateTransferEngine` closes the gap the invariant oracle surfaced in
+every protocol stack: a replica that missed decisions while crashed or
+partitioned wedged behind the cluster forever.  The engine is generic — it
+works in executed order units and leaves protocol-specific replay to a
+callback — and strictly *verified*: a response is only applied when
+
+* it carries a :class:`~repro.recovery.messages.CheckpointCertificate` with
+  2f + 1 distinct valid signers,
+* its entries form a contiguous run from the local execution frontier to the
+  certificate's position, and
+* folding the entries into the local rolling digest reproduces the
+  certificate's digest exactly.
+
+The digest chain is anchored at the receiver's *own* executed prefix, so a
+Byzantine responder cannot splice forged content anywhere into the run: any
+altered batch changes every subsequent fold and the final comparison fails.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.recovery.checkpoint import CheckpointManager, fold_entry
+from repro.recovery.messages import SlotEntry, StateRequest, StateResponse
+
+SendRequest = Callable[[int, StateRequest], None]
+ApplyEntries = Callable[[Tuple[SlotEntry, ...], object], None]
+
+
+class StateTransferEngine:
+    """Detects execution gaps and replays certified content to close them.
+
+    Parameters
+    ----------
+    manager:
+        The replica's :class:`CheckpointManager` (frontier, rolling digest,
+        stable certificate).
+    weak_quorum:
+        f + 1 — the number of certificate signers a request is sent to, so
+        at least one honest signer answers.
+    send_request:
+        Callback delivering a :class:`StateRequest` to one peer.
+    apply_entries:
+        Callback replaying verified entries through the protocol's execution
+        path (the shared pipeline for baselines, the cross-instance order
+        for SpotLess).  It must advance ``manager.frontier`` via
+        ``record_execution`` for every applied unit.
+    on_verified:
+        Optional callback invoked with the response after verification
+        succeeds and before replay — the runtime registers the shipped
+        transaction payloads here, so a rejected response never touches any
+        replica state (not even the payload store).
+    """
+
+    def __init__(
+        self,
+        manager: CheckpointManager,
+        *,
+        node_id: int,
+        weak_quorum: int,
+        send_request: SendRequest,
+        apply_entries: ApplyEntries,
+        on_verified: Optional[Callable[[StateResponse], None]] = None,
+        on_round_issued: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.manager = manager
+        self.node_id = node_id
+        self.weak_quorum = weak_quorum
+        self._send_request = send_request
+        self._apply_entries = apply_entries
+        self._on_verified = on_verified
+        self._on_round_issued = on_round_issued
+        # Highest floor already requested; suppresses duplicate fan-out while
+        # a transfer for that floor is in flight.
+        self._requested_floor = 0
+        # Request rounds issued so far; rotates the signer subset each round
+        # so a retry reaches different peers than the round that stalled.
+        self._rounds = 0
+
+        self.requests_sent = 0
+        self.responses_applied = 0
+        self.responses_rejected = 0
+        self.transfers_completed = 0
+
+    # ------------------------------------------------------------------
+    # gap detection
+    # ------------------------------------------------------------------
+
+    def behind_by(self) -> int:
+        """Executed order units the certified floor is ahead of us."""
+        return max(0, self.manager.stable_position() - self.manager.frontier)
+
+    def maybe_request(self) -> bool:
+        """Issue a transfer request when the stable floor is ahead of us.
+
+        The stable checkpoint doubles as the gap detector: it proves a quorum
+        executed past our frontier, so there is certified content to pull.
+        Requests go to f + 1 certificate signers (at least one is honest).
+        """
+        certificate = self.manager.stable
+        if certificate is None or certificate.position <= self.manager.frontier:
+            return False
+        if certificate.position <= self._requested_floor:
+            return False
+        self._requested_floor = certificate.position
+        request = StateRequest(from_position=self.manager.frontier)
+        targets = [signer for signer in certificate.signers if signer != self.node_id]
+        start = self._rounds % len(targets) if targets else 0
+        self._rounds += 1
+        for target in (targets[start:] + targets[:start])[: self.weak_quorum]:
+            self.requests_sent += 1
+            self._send_request(target, request)
+        if self._on_round_issued is not None:
+            self._on_round_issued()
+        return True
+
+    def retry_if_stalled(self) -> bool:
+        """Unlatch and re-request when a prior round left us behind the floor.
+
+        A request round can legitimately yield nothing: the targeted signers
+        may be faulty, still partitioned away, or unable to serve because
+        their own stable certificate lags the one we adopted.  Without this
+        hook the latch would suppress every retry until a strictly higher
+        checkpoint forms — never, once the workload drains.  The caller arms
+        a timer whenever a round is issued (``on_round_issued``) and invokes
+        this on expiry; target rotation makes successive rounds reach
+        different signers.
+        """
+        if self.manager.frontier >= self.manager.stable_position():
+            return False
+        self._requested_floor = self.manager.frontier
+        return self.maybe_request()
+
+    # ------------------------------------------------------------------
+    # verified replay
+    # ------------------------------------------------------------------
+
+    def on_response(self, sender: int, response: StateResponse) -> bool:
+        """Verify one response against the certificate and replay it.
+
+        Returns True when the response advanced the local frontier.  Forged
+        or uncertified responses are rejected without touching any state.
+        """
+        verified = self._verify(response)
+        if verified is None:
+            self.responses_rejected += 1
+            return False
+        entries, certificate = verified
+        if not entries:
+            return False
+        if self._on_verified is not None:
+            self._on_verified(response)
+        self._apply_entries(entries, certificate)
+        self.manager.adopt_certificate(certificate)
+        if self.manager.frontier >= certificate.position:
+            self.transfers_completed += 1
+        self.responses_applied += 1
+        if self.manager.frontier < self.manager.stable_position():
+            # Partial transfer: an honest responder whose own stable floor
+            # lags the certificate we adopted can only serve part of the gap.
+            # Unlatch and re-pull immediately — otherwise the latch would
+            # suppress every retry until a strictly higher checkpoint forms,
+            # which never happens once the workload drains.
+            self._requested_floor = self.manager.frontier
+            self.maybe_request()
+        return True
+
+    def _verify(
+        self, response: StateResponse
+    ) -> Optional[Tuple[Tuple[SlotEntry, ...], object]]:
+        """Check certificate quorum, contiguity, and the digest chain."""
+        certificate = response.certificate
+        if certificate is None:
+            return None
+        if not certificate.has_quorum(self.manager.quorum, self.manager.num_replicas):
+            return None
+        frontier = self.manager.frontier
+        if certificate.position <= frontier:
+            # Stale response: everything it covers is already executed.
+            return (), certificate
+        # Entries the responder sent for units we executed in the meantime
+        # are skipped; the remainder must run contiguously to the floor.
+        entries = tuple(entry for entry in response.entries if entry.position >= frontier)
+        expected = range(frontier, certificate.position)
+        if [entry.position for entry in entries] != list(expected):
+            return None
+        rolling = self.manager.rolling
+        for entry in entries:
+            rolling = fold_entry(rolling, entry)
+        if rolling != certificate.digest:
+            return None
+        return entries, certificate
+
+
+__all__ = ["StateTransferEngine"]

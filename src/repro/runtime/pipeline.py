@@ -26,6 +26,10 @@ from repro.workload.requests import Transaction
 
 ResolveNoop = Callable[[bytes, int], Optional[Transaction]]
 Inform = Callable[[Transaction], None]
+# Called after each position executes: (position, digests, view, instance).
+# The recovery layer folds every executed position into its rolling
+# checkpoint digest through this hook.
+OnExecuted = Callable[[int, Tuple[bytes, ...], int, int], None]
 
 
 class ExecutionPipeline:
@@ -65,6 +69,7 @@ class ExecutionPipeline:
         self.quorum = quorum
         self._inform = inform
         self._resolve_noop = resolve_noop
+        self.on_executed: Optional[OnExecuted] = None
 
         self._decided: Dict[int, Tuple[bytes, ...]] = {}
         self._decision_meta: Dict[int, Tuple[int, int]] = {}
@@ -131,6 +136,8 @@ class ExecutionPipeline:
             view, instance = self._decision_meta.get(position, (0, 0))
             self.execute(transactions, view=view, instance=instance)
             self._next_execution_position += 1
+            if self.on_executed is not None:
+                self.on_executed(position, digests, view, instance)
 
     def execute(
         self, transactions: List[Transaction], view: int = 0, instance: int = 0
@@ -159,6 +166,29 @@ class ExecutionPipeline:
             if self._inform is not None:
                 self._inform(transaction)
         return fresh
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+
+    def compact_below(self, position: int) -> int:
+        """Drop decided-slot state below ``position``; returns slots dropped.
+
+        Only the executed prefix may be compacted, and callers only compact
+        below a stable checkpoint: refusing to GC unexecuted (and therefore
+        uncertified) slots here is the last line of defence against a bug
+        that would discard content the cluster still needs.
+        """
+        if position > self._next_execution_position:
+            raise ValueError(
+                f"refusing to GC slots up to {position}: execution frontier is at "
+                f"{self._next_execution_position} and uncertified slots must be kept"
+            )
+        stale = [decided for decided in self._decided if decided < position]
+        for decided in stale:
+            del self._decided[decided]
+            self._decision_meta.pop(decided, None)
+        return len(stale)
 
     # ------------------------------------------------------------------
     # introspection

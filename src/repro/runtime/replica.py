@@ -29,6 +29,16 @@ from repro.ledger.kvtable import KeyValueTable
 from repro.ledger.ledger import Ledger
 from repro.net.message import Message
 from repro.net.sizes import MessageSizeModel
+from repro.recovery import (
+    CheckpointCertificate,
+    CheckpointManager,
+    CheckpointVote,
+    SlotEntry,
+    SlotRecord,
+    StateRequest,
+    StateResponse,
+    StateTransferEngine,
+)
 from repro.runtime.mempool import AdmitResult, Mempool
 from repro.runtime.pipeline import ExecutionPipeline
 from repro.sim.actor import Actor
@@ -97,6 +107,34 @@ class ReplicaRuntime(Actor):
             resolve_noop=self.resolve_noop,
         )
 
+        # Recovery layer: checkpoint the execution frontier every K order
+        # units and pull certified content when the cluster runs ahead.
+        self.checkpoints = CheckpointManager(
+            node_id=node_id,
+            num_replicas=config.num_replicas,
+            quorum=config.quorum,
+            interval=getattr(config, "checkpoint_interval", 0),
+        )
+        self.state_transfer = StateTransferEngine(
+            self.checkpoints,
+            node_id=node_id,
+            weak_quorum=config.weak_quorum,
+            send_request=self._send_state_request,
+            apply_entries=self._apply_state_entries,
+            on_verified=self._register_transferred_payloads,
+            on_round_issued=self._arm_transfer_retry,
+        )
+        # A request round can stall (targeted signers faulty, partitioned,
+        # or unable to serve); retry on a timer until the gap closes.
+        self._transfer_retry_delay = getattr(config, "request_timeout", 0.25)
+        self._transfer_retry_armed = False
+        # Baselines execute through the pipeline; SpotLess replaces this hook
+        # with its own per-view folding in ``core.node``.  With checkpointing
+        # disabled the recovery layer is fully dormant: no per-position
+        # folding on the execution hot path.
+        if self.checkpoints.enabled:
+            self.pipeline.on_executed = self._on_position_executed
+
     # ------------------------------------------------------------------
     # request handling
     # ------------------------------------------------------------------
@@ -152,6 +190,8 @@ class ReplicaRuntime(Actor):
         if isinstance(payload, Transaction):
             self.submit_transaction(payload)
             return
+        if self._handle_recovery_message(sender, payload):
+            return
         self.on_protocol_message(sender, payload)
 
     def on_protocol_message(self, sender: int, payload: object) -> None:
@@ -167,6 +207,168 @@ class ReplicaRuntime(Actor):
         self.broadcast(self.other_replicas(), message, size_bytes)
         if include_self:
             self.on_protocol_message(self.node_id, message)
+
+    # ------------------------------------------------------------------
+    # recovery: checkpoints and state transfer
+    # ------------------------------------------------------------------
+
+    def _handle_recovery_message(self, sender: int, payload: object) -> bool:
+        """Route recovery-layer messages; returns True when one was handled."""
+        if isinstance(payload, CheckpointVote):
+            self._on_checkpoint_vote(sender, payload)
+            return True
+        if isinstance(payload, StateRequest):
+            self._serve_state_request(sender, payload)
+            return True
+        if isinstance(payload, StateResponse):
+            self._on_state_response(sender, payload)
+            return True
+        return False
+
+    def _record_executed_entry(self, entry: SlotEntry) -> None:
+        """Fold one executed order unit; broadcast a vote at K crossings."""
+        vote = self.checkpoints.record_execution(entry)
+        if vote is not None:
+            self.broadcast(
+                self.other_replicas(), vote, self.size_model.control_bytes(signatures=1)
+            )
+            self._on_checkpoint_vote(self.node_id, vote)
+
+    def _on_position_executed(
+        self, position: int, digests: Tuple[bytes, ...], view: int, instance: int
+    ) -> None:
+        record = SlotRecord(view=view, instance=instance, transaction_digests=tuple(digests))
+        self._record_executed_entry(SlotEntry(position=position, records=(record,)))
+
+    def _on_checkpoint_vote(self, sender: int, vote: CheckpointVote) -> None:
+        certificate = self.checkpoints.on_vote(sender, vote)
+        if certificate is not None:
+            self._on_new_stable_checkpoint(certificate)
+        # A stable floor ahead of the local frontier means the cluster
+        # executed past us: pull the certified content we are missing.
+        self.state_transfer.maybe_request()
+
+    def adopt_checkpoint_gap_signal(self, certificate: Optional[CheckpointCertificate]) -> None:
+        """Adopt a peer-carried certificate and pull missing state immediately.
+
+        A healed replica may first learn how far behind it is from a
+        checkpoint certificate embedded in a protocol message (e.g. a
+        ViewChange vote); waiting for the cluster's next K-interval vote
+        round would leave it wedged if the workload drains first.
+        ``adopt_certificate`` validates the quorum before anything is
+        trusted.
+        """
+        if certificate is not None and self.checkpoints.adopt_certificate(certificate):
+            self.state_transfer.maybe_request()
+
+    def _on_new_stable_checkpoint(self, certificate: CheckpointCertificate) -> None:
+        # Per-slot protocol state below the floor is garbage: the content is
+        # quorum-attested and archived, so nobody needs the votes any more.
+        # Only the executed prefix is compacted — a floor ahead of the local
+        # frontier GCs nothing until state transfer catches execution up.
+        self.pipeline.compact_below(
+            min(certificate.position, self.pipeline.next_execution_position)
+        )
+        self.on_stable_checkpoint(certificate)
+
+    def _arm_transfer_retry(self) -> None:
+        """Schedule a stall check after each state-request round goes out."""
+        if self._transfer_retry_armed:
+            return
+        self._transfer_retry_armed = True
+        self.simulator.schedule(
+            self._transfer_retry_delay, self._retry_transfer, label="state-transfer-retry"
+        )
+
+    def _retry_transfer(self) -> None:
+        self._transfer_retry_armed = False
+        # Re-arms itself through on_round_issued while the gap persists.
+        self.state_transfer.retry_if_stalled()
+
+    def _send_state_request(self, target: int, request: StateRequest) -> None:
+        self.send(target, request, self.size_model.control_bytes(signatures=1))
+
+    def _serve_state_request(self, sender: int, request: StateRequest) -> None:
+        """Answer a pull request with certified slot content and payloads."""
+        served = self.checkpoints.serve(request.from_position)
+        if served is None:
+            return
+        entries, certificate = served
+        payloads: List[Transaction] = []
+        seen: set = set()
+        for entry in entries:
+            for record in entry.records:
+                for digest in record.transaction_digests:
+                    if digest in seen:
+                        continue
+                    seen.add(digest)
+                    transaction = self.mempool.get(digest)
+                    if transaction is None:  # pragma: no cover - executed => held
+                        return
+                    payloads.append(transaction)
+        response = StateResponse(
+            from_position=request.from_position,
+            entries=entries,
+            certificate=certificate,
+            payloads=tuple(payloads),
+        )
+        size = self.size_model.control_bytes(
+            signatures=self.config.quorum
+        ) + len(payloads) * self.size_model.request_bytes()
+        self.send(sender, response, size)
+
+    def _register_transferred_payloads(self, response: StateResponse) -> None:
+        """Store a *verified* response's payloads ahead of its replay.
+
+        Called by the transfer engine only after certificate and digest-chain
+        verification, so a rejected response never touches replica state —
+        not even the payload store.  The payload list itself is not covered
+        by the digest chain, so only payloads the certified entries actually
+        reference are kept: the mempool never evicts, and a Byzantine peer
+        could otherwise bloat it by padding a genuine response with junk.
+        The mempool re-hashes each payload on registration, so a forged
+        payload can never masquerade as a referenced digest either.
+        """
+        referenced = {
+            digest
+            for entry in response.entries
+            for record in entry.records
+            for digest in record.transaction_digests
+        }
+        for transaction in response.payloads:
+            if transaction.digest() in referenced:
+                self.mempool.register_payload(transaction)
+
+    def _on_state_response(self, sender: int, response: StateResponse) -> None:
+        if self.state_transfer.on_response(sender, response):
+            if response.certificate is not None:
+                self._on_new_stable_checkpoint(response.certificate)
+            self.on_state_transferred(response.certificate)
+
+    def _apply_state_entries(
+        self, entries: Tuple[SlotEntry, ...], certificate: CheckpointCertificate
+    ) -> None:
+        """Replay verified entries through the shared execution pipeline.
+
+        ``deliver`` deduplicates positions this replica already decided, and
+        the final ``advance`` re-kicks execution in case the entries only
+        supplied payloads that an earlier stalled position was waiting for.
+        """
+        for entry in entries:
+            for record in entry.records:
+                self.pipeline.deliver(
+                    entry.position,
+                    record.transaction_digests,
+                    view=record.view,
+                    instance=record.instance,
+                )
+        self.pipeline.advance()
+
+    def on_stable_checkpoint(self, certificate: CheckpointCertificate) -> None:
+        """Hook: a new stable checkpoint formed (protocols GC their state)."""
+
+    def on_state_transferred(self, certificate: Optional[CheckpointCertificate]) -> None:
+        """Hook: a verified state transfer advanced the execution frontier."""
 
     def _inform_client(self, transaction: Transaction) -> None:
         inform = InformMessage(

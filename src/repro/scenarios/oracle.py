@@ -55,11 +55,11 @@ class InvariantOracle:
 
     ``strict_liveness`` additionally turns post-heal *stragglers* — replicas
     that individually make no execution progress after every fault healed —
-    into violations.  The default only records them (``self.stragglers``):
-    none of the implemented protocols ships a state-transfer/catch-up path
-    yet, so a replica that missed decisions while down or partitioned wedges
-    behind the cluster even though the cluster as a whole stays live (see the
-    ROADMAP open item).
+    into violations.  The scenario harness runs with it on: the
+    checkpoint/state-transfer subsystem (:mod:`repro.recovery`) catches every
+    healed replica back up, so a straggler is a recovery bug, not an
+    accepted limitation.  The constructor default stays off for callers that
+    deliberately study the wedge (e.g. ``checkpoint_interval=0`` runs).
     """
 
     def __init__(

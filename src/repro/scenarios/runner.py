@@ -33,9 +33,10 @@ class ScenarioResult:
     committed_per_replica: Tuple[int, ...]
     violations: Tuple[InvariantViolation, ...]
     checks_run: int
-    # Replicas that made no execution progress after all faults healed — the
-    # missing-state-transfer gap the oracle surfaces without failing the run
-    # (violations under ScenarioSpec.strict_liveness).
+    # Replicas that made no execution progress after all faults healed.
+    # With the checkpoint/state-transfer subsystem this column must stay
+    # empty; under ScenarioSpec.strict_liveness (the default) a straggler is
+    # a hard invariant violation.
     stragglers: Tuple[int, ...] = ()
 
     @property
@@ -90,6 +91,7 @@ class ScenarioRunner:
             seed=spec.seed,
             request_timeout=spec.request_timeout,
             view_change_timeout=spec.view_change_timeout,
+            checkpoint_interval=spec.checkpoint_interval,
         )
         # The inform-durability invariant audits every confirmed digest, so
         # scenario clients must record them (off by default for benchmarks).

@@ -85,16 +85,23 @@ class ScenarioSpec:
     # adaptive timers are already this small).
     request_timeout: float = 0.06
     view_change_timeout: float = 0.08
-    # When True, post-heal stragglers (replicas that individually stop
-    # progressing) are invariant violations, not just a reported column; off
-    # by default until the protocols grow a state-transfer/catch-up path.
-    strict_liveness: bool = False
+    # Post-heal stragglers (replicas that individually stop progressing) are
+    # hard invariant violations: the checkpoint/state-transfer subsystem is
+    # expected to catch every healed replica back up.  Set to False only when
+    # deliberately studying the wedge (e.g. with checkpoint_interval=0).
+    strict_liveness: bool = True
+    # Checkpoint interval K of the recovery subsystem; chaos runs are short,
+    # so checkpoints fire more often than the production default of 16.
+    # 0 disables checkpointing and state transfer entirely.
+    checkpoint_interval: int = 8
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {self.protocol!r}; choose one of {PROTOCOLS}")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be non-negative (0 disables)")
         n = self.resolved_replicas()
         # Replica ids must name actual replicas — an out-of-range id would
         # silently fault a client node (ids n..n+clients-1) or nothing at

@@ -314,6 +314,75 @@ def test_hotstuff_quorum_cert_validation():
     assert not duplicate_signers.is_valid(2)
 
 
+def test_hotstuff_chain_sync_drops_unsolicited_and_heals_stripped_justify():
+    """A Byzantine peer cannot park justify-stripped copies of genuine nodes.
+
+    The chain-node digest deliberately excludes the justify (it is
+    recomputed from shipped content), so a QC-stripped copy of a genuine
+    node hashes correctly.  It must not be accepted unsolicited, and a
+    later validated QC for an already-recorded digest must upgrade the
+    node — otherwise the stripped copy would suppress the three-chain
+    commit rule forever.
+    """
+    from repro.protocols.hotstuff.messages import HsChainResponse, HsNodeData, HsProposal
+    from repro.protocols.hotstuff.replica import chain_node_digest
+
+    cluster = SimulatedCluster.for_protocol(
+        "hotstuff", num_replicas=4, clients=1, outstanding_per_client=1, batch_size=5
+    )
+    replica = cluster.replicas[0]
+    batch = (b"sync-batch",)
+    digest = chain_node_digest(5, GENESIS_NODE_DIGEST, batch)
+    stripped = HsNodeData(
+        digest=digest,
+        view=5,
+        parent_digest=GENESIS_NODE_DIGEST,
+        transaction_digests=batch,
+        justify=None,
+    )
+    # Unsolicited response: dropped entirely.
+    replica._on_chain_response(1, HsChainResponse(nodes=(stripped,)))
+    assert digest not in replica.nodes
+    # Solicited: recorded, but with a justify hole...
+    replica._chain_requested[digest] = replica.view
+    replica._on_chain_response(1, HsChainResponse(nodes=(stripped,)))
+    assert replica.nodes[digest].justify is None
+    # ...that a validated QC in a later segment heals...
+    qc = QuorumCert(view=4, node_digest=GENESIS_NODE_DIGEST, signers=(0, 1, 2))
+    full = HsNodeData(
+        digest=digest,
+        view=5,
+        parent_digest=GENESIS_NODE_DIGEST,
+        transaction_digests=batch,
+        justify=qc,
+    )
+    replica._on_chain_response(2, HsChainResponse(nodes=(full,)))
+    assert replica.nodes[digest].justify == qc
+    # ...as does the genuine proposal for a stripped digest.
+    child_digest = chain_node_digest(6, digest, batch)
+    stripped_child = HsNodeData(
+        digest=child_digest,
+        view=6,
+        parent_digest=digest,
+        transaction_digests=batch,
+        justify=None,
+    )
+    replica._chain_requested[child_digest] = replica.view
+    replica._on_chain_response(1, HsChainResponse(nodes=(stripped_child,)))
+    assert replica.nodes[child_digest].justify is None
+    child_qc = QuorumCert(view=5, node_digest=digest, signers=(1, 2, 3))
+    node = replica._record_node(
+        HsProposal(
+            view=6,
+            node_digest=child_digest,
+            parent_digest=digest,
+            transaction_digests=batch,
+            justify=child_qc,
+        )
+    )
+    assert node.justify == child_qc
+
+
 def test_narwhal_messages_are_heavier_and_charge_signatures():
     spotless_like = SimulatedCluster.for_protocol("hotstuff", num_replicas=4, clients=1, outstanding_per_client=1, batch_size=5)
     narwhal = SimulatedCluster.for_protocol("narwhal-hs", num_replicas=4, clients=1, outstanding_per_client=1, batch_size=5)

@@ -225,7 +225,10 @@ def test_transaction_digest_is_memoized():
 # ---------------------------------------------------------------------------
 # Cross-protocol behavioural pin: the runtime refactor preserved every
 # protocol's fixed-seed execution (digests recorded from the pre-refactor
-# implementations).
+# implementations).  Run with checkpoint_interval=0 — which must make the
+# recovery subsystem fully dormant — so these digests double as a regression
+# test that disabling checkpointing restores the exact pre-recovery wire
+# behaviour.
 # ---------------------------------------------------------------------------
 
 GOLDEN_STATE = {
@@ -240,11 +243,18 @@ GOLDEN_STATE = {
 @pytest.mark.parametrize("protocol", sorted(GOLDEN_STATE))
 def test_fixed_seed_state_digest_matches_pre_refactor_value(protocol):
     cluster = SimulatedCluster.for_protocol(
-        protocol, num_replicas=4, batch_size=8, clients=3, outstanding_per_client=4, seed=7
+        protocol,
+        num_replicas=4,
+        batch_size=8,
+        clients=3,
+        outstanding_per_client=4,
+        seed=7,
+        checkpoint_interval=0,
     )
     cluster.run(duration=0.4)
     replica = cluster.replicas[0]
     digest, executed = GOLDEN_STATE[protocol]
     assert replica.state_digest().hex() == digest
     assert replica.executed_transactions == executed
+    assert replica.checkpoints.votes_sent == 0  # recovery layer fully dormant
     cluster.assert_no_divergence()

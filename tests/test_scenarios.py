@@ -182,6 +182,9 @@ def test_matrix_builders_cover_the_grid():
     assert len(smoke) == len(PROTOCOLS) * 6
     assert {spec.protocol for spec in smoke} == set(PROTOCOLS)
     assert all(spec.f == 1 for spec in smoke)
+    # Stragglers are hard failures across both grids from now on.
+    assert all(spec.strict_liveness for spec in full + smoke)
+    assert all(spec.checkpoint_interval > 0 for spec in full + smoke)
     # A direct smoke_matrix() call must build the same specs the CLI runs,
     # so its digests compare against GOLDEN_SMOKE (pinned at duration 0.4).
     assert all(spec.duration == 0.4 for spec in smoke)
@@ -344,39 +347,40 @@ def test_oracle_liveness_passes_when_progress_resumes():
 # seeded end-to-end runs: determinism and golden digests
 # ---------------------------------------------------------------------------
 
-# Deterministic summary digests of the smoke matrix (duration 0.4, seed 1).
-# Regenerate with: python -m repro scenario --matrix smoke
+# Deterministic summary digests of the smoke matrix (duration 0.4, seed 1),
+# recorded with the recovery subsystem active (checkpoint_interval=8) and
+# strict liveness on.  Regenerate with: python -m repro scenario --matrix smoke
 GOLDEN_SMOKE = {
-    ("spotless", "A1"): "ac8f6d39a7dc",
-    ("spotless", "A2"): "a2fe4ce646f1",
-    ("spotless", "A3"): "aa9f4d95279b",
-    ("spotless", "A4"): "6282c489bf6a",
-    ("spotless", "crash"): "cc6cd18e89bf",
-    ("spotless", "partition"): "b08e99cb5538",
-    ("pbft", "A1"): "6cebbc45269d",
-    ("pbft", "A2"): "96dafc9eac64",
-    ("pbft", "A3"): "093411ef5ec6",
-    ("pbft", "A4"): "ebb8b71c22ed",
-    ("pbft", "crash"): "ee48b0120c51",
-    ("pbft", "partition"): "6048c7b2093a",
-    ("rcc", "A1"): "6a37a05b89dc",
-    ("rcc", "A2"): "43cdd1150e9b",
-    ("rcc", "A3"): "b6d538cfd738",
-    ("rcc", "A4"): "1bd843a3347c",
-    ("rcc", "crash"): "d4a3358378f3",
-    ("rcc", "partition"): "dae00c3f9f3a",
-    ("hotstuff", "A1"): "1fd5a7045582",
-    ("hotstuff", "A2"): "f646fa36849b",
-    ("hotstuff", "A3"): "d7cea0ed361f",
-    ("hotstuff", "A4"): "dcd2060d9099",
-    ("hotstuff", "crash"): "74f5617c1e43",
-    ("hotstuff", "partition"): "798cb85f2988",
-    ("narwhal-hs", "A1"): "c60984fcf4b2",
-    ("narwhal-hs", "A2"): "9c1b3d5b2975",
-    ("narwhal-hs", "A3"): "d9e430bb4389",
-    ("narwhal-hs", "A4"): "8cec36904111",
-    ("narwhal-hs", "crash"): "fed89d4d2a9c",
-    ("narwhal-hs", "partition"): "eac240405037",
+    ("spotless", "A1"): "e048207bd370",
+    ("spotless", "A2"): "efb5b2248545",
+    ("spotless", "A3"): "e76fb133daac",
+    ("spotless", "A4"): "c5ae3beeb27d",
+    ("spotless", "crash"): "adc1adf1e1db",
+    ("spotless", "partition"): "cd28eaf66d82",
+    ("pbft", "A1"): "a2651cdf1f4c",
+    ("pbft", "A2"): "656a15e94f9d",
+    ("pbft", "A3"): "13671144afb7",
+    ("pbft", "A4"): "65066f756b92",
+    ("pbft", "crash"): "af1c6cd33ca9",
+    ("pbft", "partition"): "7808aad07434",
+    ("rcc", "A1"): "28943d64d228",
+    ("rcc", "A2"): "a7fd8ef5de77",
+    ("rcc", "A3"): "710fe417434f",
+    ("rcc", "A4"): "b42df45a92de",
+    ("rcc", "crash"): "6b48867f7ea8",
+    ("rcc", "partition"): "cce4af96d0b7",
+    ("hotstuff", "A1"): "f86794d31ef9",
+    ("hotstuff", "A2"): "3f5867903dea",
+    ("hotstuff", "A3"): "b82adfaef396",
+    ("hotstuff", "A4"): "618ec0b039de",
+    ("hotstuff", "crash"): "ea228cd968f3",
+    ("hotstuff", "partition"): "ea13418f0d32",
+    ("narwhal-hs", "A1"): "9ceac4e3e113",
+    ("narwhal-hs", "A2"): "fd6cb0cefda0",
+    ("narwhal-hs", "A3"): "a69d63e40c06",
+    ("narwhal-hs", "A4"): "1f34605e66e8",
+    ("narwhal-hs", "crash"): "40b9d65dd0e7",
+    ("narwhal-hs", "partition"): "d47e23b98e41",
 }
 
 SMOKE_FAULTS = ("A1", "A2", "A3", "A4", "crash", "partition")
@@ -431,26 +435,69 @@ def test_scenario_runner_enables_digest_recording_but_benchmarks_skip_it():
     assert any(client.confirmed_transactions for client in cluster.clients)
 
 
-def test_oracle_reports_post_heal_stragglers_without_failing_the_run():
-    # The crashed replica has no state-transfer path to recover the chain
-    # nodes it missed, so it stops executing after the heal: the oracle must
-    # surface it as a straggler while the run itself stays clean.
-    result = run_scenario(single_fault_spec("hotstuff", "crash", f=1, duration=0.3, seed=1))
-    assert result.stragglers == (3,)
+def test_strict_liveness_is_the_default_and_recovery_clears_stragglers():
+    # Scenario specs run under strict liveness now: the checkpoint/state-
+    # transfer subsystem catches the healed replica back up, so the crash
+    # cell that used to report straggler 3 must be clean end to end.
+    spec = single_fault_spec("hotstuff", "crash", f=1, duration=0.3, seed=1)
+    assert spec.strict_liveness
+    result = run_scenario(spec)
+    assert result.stragglers == ()
     assert result.violations == ()
-    assert result.row()["stragglers"] == "3"
+    assert result.row()["stragglers"] == "-"
 
 
-def test_strict_liveness_turns_stragglers_into_violations():
+def test_disabling_checkpoints_reproduces_the_wedge_as_a_hard_failure():
     from dataclasses import replace
 
+    # checkpoint_interval=0 turns the recovery subsystem off: the healed
+    # replica wedges exactly as before, and under strict liveness (the
+    # default) that is now a hard invariant violation, not just a column.
     spec = replace(
         single_fault_spec("hotstuff", "crash", f=1, duration=0.3, seed=1),
-        strict_liveness=True,
+        checkpoint_interval=0,
     )
     result = run_scenario(spec)
+    assert result.stragglers == (3,)
     violations = [v for v in result.violations if v.invariant == "liveness-straggler"]
     assert [v for v in violations if "replica 3" in v.detail]
+
+
+# ---------------------------------------------------------------------------
+# crash-then-heal straggler regressions: every protocol's healed replica
+# converges back to the cluster within the liveness window
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_crash_then_heal_replica_converges(protocol):
+    spec = single_fault_spec(protocol, "crash", f=1, duration=0.4, seed=3)
+    result = run_scenario(spec)
+    assert result.violations == (), [str(v) for v in result.violations]
+    assert result.stragglers == ()
+    # Convergence, not just progress: the healed replica's ledger depth ends
+    # within one checkpoint window (plus in-flight slots) of the deepest
+    # replica, so state transfer actually caught it up to the cluster.
+    depths = result.committed_per_replica
+    lag = max(depths) - min(depths)
+    assert lag <= 2 * spec.checkpoint_interval * spec.batch_size, (
+        f"{protocol}: healed replica still {lag} transactions behind {depths}"
+    )
+
+
+def test_crash_then_heal_ledger_digests_are_prefix_consistent():
+    # Beyond counts: the healed replica's executed ledger must be a prefix
+    # of the deepest replica's (same transactions, same order).
+    from repro.scenarios.runner import ScenarioRunner
+
+    runner = ScenarioRunner(single_fault_spec("pbft", "crash", f=1, duration=0.4, seed=3))
+    result = runner.run()
+    assert result.violations == ()
+    ledgers = [replica.executed_transaction_digests() for replica in runner.cluster.replicas]
+    deepest = max(ledgers, key=len)
+    for ledger in ledgers:
+        assert ledger == deepest[: len(ledger)]
+        assert len(ledger) > 0
 
 
 # ---------------------------------------------------------------------------
