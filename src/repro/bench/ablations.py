@@ -329,12 +329,41 @@ def fast_path_latency(
     return rows
 
 
+# ----------------------------------------------------------------------
+# dispatch registry: one picklable entry point per named ablation
+# ----------------------------------------------------------------------
+
+#: CLI ablation name -> ablation function.  Keys match ``repro.cli.ABLATIONS``.
+ABLATION_EXPERIMENTS: Dict[str, object] = {
+    "commit-rule": commit_rule_safety,
+    "view-sync": view_synchronization_recovery,
+    "timeouts": timeout_policy_stability,
+    "assignment": assignment_load_balance,
+    "fast-path": fast_path_latency,
+}
+
+
+def run_ablation(name: str) -> List[Dict[str, object]]:
+    """Run one named ablation and return its rows.
+
+    Worker-process entry point behind the ``ablation`` dispatch task;
+    resolvable by module path and cache-keyed by name.
+    """
+    ablation = ABLATION_EXPERIMENTS.get(name)
+    if ablation is None:
+        known = ", ".join(sorted(ABLATION_EXPERIMENTS))
+        raise KeyError(f"unknown ablation {name!r}; choose one of: {known}")
+    return ablation()
+
+
 __all__ = [
+    "ABLATION_EXPERIMENTS",
     "CommitRuleOutcome",
     "assignment_load_balance",
     "commit_rule_safety",
     "example_3_6_conflict",
     "fast_path_latency",
+    "run_ablation",
     "timeout_policy_stability",
     "view_synchronization_recovery",
 ]

@@ -390,7 +390,48 @@ def single_instance_failures(
     return rows
 
 
+# ----------------------------------------------------------------------
+# dispatch registry: one picklable entry point per named figure
+# ----------------------------------------------------------------------
+
+#: CLI figure name -> experiment function (see EXPERIMENTS.md for the
+#: figure-by-figure mapping).  Keys match ``repro.cli.FIGURES``.
+FIGURE_EXPERIMENTS: Dict[str, object] = {
+    "fig7a-scalability": scalability,
+    "fig7b-batching": batching,
+    "fig7c-throughput-latency": throughput_latency,
+    "fig7d-transaction-size": transaction_size,
+    "fig7e-failures": failures,
+    "fig7f-failure-ratio": failures_ratio,
+    "fig8-spotless-failures": spotless_failures,
+    "fig9-latency-failures": parallelism,
+    "fig10-parallelism": parallelism,
+    "fig11-byzantine": byzantine_attacks,
+    "fig12-timeline": failure_timeline,
+    "fig13-instances": concurrent_instances,
+    "fig14a-cpu": computing_power,
+    "fig14b-bandwidth": network_bandwidth,
+    "fig14cd-regions": geo_regions,
+    "fig15-single-instance": single_instance_failures,
+}
+
+
+def run_figure(name: str, kwargs: Optional[Dict[str, object]] = None) -> List[Dict[str, object]]:
+    """Run one named figure experiment and return its rows.
+
+    This is the worker-process entry point behind the ``figure`` dispatch
+    task: resolvable by module path (unlike the CLI's per-figure lambdas)
+    and keyed for the result cache by ``(name, kwargs)``.
+    """
+    experiment = FIGURE_EXPERIMENTS.get(name)
+    if experiment is None:
+        known = ", ".join(sorted(FIGURE_EXPERIMENTS))
+        raise KeyError(f"unknown figure {name!r}; choose one of: {known}")
+    return experiment(**(kwargs or {}))
+
+
 __all__ = [
+    "FIGURE_EXPERIMENTS",
     "PROTOCOLS",
     "batching",
     "byzantine_attacks",
@@ -402,6 +443,7 @@ __all__ = [
     "geo_regions",
     "network_bandwidth",
     "parallelism",
+    "run_figure",
     "scalability",
     "single_instance_failures",
     "spotless_failures",

@@ -5,23 +5,32 @@ The CLI exposes the experiment harness without writing any Python::
     python -m repro list
     python -m repro complexity
     python -m repro figure fig7a-scalability --replicas 4 16 32
+    python -m repro figure all --workers 4
     python -m repro ablation commit-rule
     python -m repro cluster --protocol spotless --replicas 4 --duration 2
     python -m repro scenario --matrix smoke
+    python -m repro scenario --matrix full --workers 4 --seeds 1 2 3
     python -m repro scenario --protocol rcc --fault A3 --f 1 --duration 0.5
+    python -m repro scenario --replay fuzz-failures/fuzz-1-17.json
+    python -m repro fuzz --count 50 --seed 1
     python -m repro validate
 
 ``figure`` names map one-to-one onto the per-figure experiment functions in
 :mod:`repro.bench.experiments`; ``ablation`` names map onto
 :mod:`repro.bench.ablations`.  Output is the same aligned table the
 benchmark harness prints, so the numbers can be compared directly against
-the corresponding figure in the paper (see EXPERIMENTS.md).
+the corresponding figure in the paper — EXPERIMENTS.md maps every CLI name
+to its figure.  ``--workers`` shards any grid-shaped command across worker
+processes through :mod:`repro.dispatch` with a content-addressed result
+cache; serial and parallel runs print byte-identical tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.complexity import format_complexity_table
@@ -31,85 +40,114 @@ from repro.bench import ablations, experiments
 from repro.bench.cluster import SimulatedCluster
 
 
+def _figure_kwargs(name: str, args: argparse.Namespace) -> Dict[str, object]:
+    """Figure-specific CLI flags as experiment kwargs.
+
+    The single source of truth for both execution paths: the serial
+    ``FIGURES`` entries and the dispatcher payloads go through this, so
+    `--workers` can never change which experiment variant runs.
+    """
+    kwargs: Dict[str, object] = {}
+    if name == "fig7a-scalability" and args.replicas:
+        kwargs["replica_counts"] = list(args.replicas)
+    if name == "fig12-timeline" and args.faulty is not None:
+        kwargs["faulty_replicas"] = args.faulty
+    return kwargs
+
+
+def _figure_runner(name: str) -> Callable[[argparse.Namespace], List[Dict[str, object]]]:
+    """Serial ``run`` entry for one figure — same resolution as dispatch.
+
+    Both paths go through ``experiments.run_figure(name, _figure_kwargs())``,
+    so ``--workers`` can never change which experiment variant runs.
+    """
+    return lambda args: experiments.run_figure(name, _figure_kwargs(name, args))
+
+
+def _ablation_runner(name: str) -> Callable[[argparse.Namespace], List[Dict[str, object]]]:
+    """Serial ``run`` entry for one ablation — same resolution as dispatch."""
+    return lambda args: ablations.run_ablation(name)
+
+
 # Mapping from CLI figure name to (experiment callable, key-column order).
 FIGURES: Dict[str, Dict[str, object]] = {
     "fig7a-scalability": {
-        "run": lambda args: experiments.scalability(tuple(args.replicas or (4, 16, 32, 64, 96, 128))),
+        "run": _figure_runner("fig7a-scalability"),
         "columns": ["replicas", "protocol", "throughput_txn_s", "latency_s", "bottleneck"],
         "paper": "Figure 7(a): throughput versus the number of replicas",
     },
     "fig7b-batching": {
-        "run": lambda args: experiments.batching(),
+        "run": _figure_runner("fig7b-batching"),
         "columns": ["batch_size", "protocol", "throughput_txn_s", "latency_s"],
         "paper": "Figure 7(b): throughput versus batch size",
     },
     "fig7c-throughput-latency": {
-        "run": lambda args: experiments.throughput_latency(),
+        "run": _figure_runner("fig7c-throughput-latency"),
         "columns": ["client_batches", "protocol", "throughput_txn_s", "latency_s"],
         "paper": "Figure 7(c): latency versus throughput",
     },
     "fig7d-transaction-size": {
-        "run": lambda args: experiments.transaction_size(),
+        "run": _figure_runner("fig7d-transaction-size"),
         "columns": ["transaction_bytes", "protocol", "throughput_txn_s"],
         "paper": "Figure 7(d): throughput versus transaction size",
     },
     "fig7e-failures": {
-        "run": lambda args: experiments.failures(),
+        "run": _figure_runner("fig7e-failures"),
         "columns": ["faulty", "protocol", "throughput_txn_s"],
         "paper": "Figure 7(e): throughput versus the number of failures",
     },
     "fig7f-failure-ratio": {
-        "run": lambda args: experiments.failures_ratio(),
+        "run": _figure_runner("fig7f-failure-ratio"),
         "columns": ["ratio", "faulty", "protocol", "throughput_txn_s"],
         "paper": "Figure 7(f): throughput versus the ratio of failures out of f",
     },
     "fig8-spotless-failures": {
-        "run": lambda args: experiments.spotless_failures(),
+        "run": _figure_runner("fig8-spotless-failures"),
         "columns": ["replicas", "faulty", "protocol", "throughput_txn_s"],
         "paper": "Figure 8: SpotLess under failures as a function of n",
     },
     "fig9-latency-failures": {
-        "run": lambda args: experiments.parallelism(),
+        "run": _figure_runner("fig9-latency-failures"),
         "columns": ["faulty", "client_batches", "protocol", "throughput_txn_s", "latency_s"],
         "paper": "Figure 9: throughput-latency of SpotLess and RCC under failures",
     },
     "fig10-parallelism": {
-        "run": lambda args: experiments.parallelism(),
+        "run": _figure_runner("fig10-parallelism"),
         "columns": ["faulty", "client_batches", "protocol", "throughput_txn_s", "latency_s"],
         "paper": "Figure 10: throughput/latency versus client batches per primary",
     },
     "fig11-byzantine": {
-        "run": lambda args: experiments.byzantine_attacks(),
+        "run": _figure_runner("fig11-byzantine"),
         "columns": ["faulty", "protocol", "attack", "throughput_txn_s"],
         "paper": "Figure 11: SpotLess under attacks A1-A4",
     },
     "fig12-timeline": {
-        "run": lambda args: experiments.failure_timeline(faulty_replicas=args.faulty or 1),
+        "run": _figure_runner("fig12-timeline"),
         "columns": ["protocol", "time_s", "throughput_txn_s"],
         "paper": "Figure 12: real-time throughput after failure injection",
     },
     "fig13-instances": {
-        "run": lambda args: experiments.concurrent_instances(),
+        "run": _figure_runner("fig13-instances"),
         "columns": ["instances", "protocol", "throughput_txn_s"],
         "paper": "Figure 13: throughput versus the number of concurrent instances",
     },
     "fig14a-cpu": {
-        "run": lambda args: experiments.computing_power(),
+        "run": _figure_runner("fig14a-cpu"),
         "columns": ["cores", "protocol", "throughput_txn_s"],
         "paper": "Figure 14(a): impact of computing power",
     },
     "fig14b-bandwidth": {
-        "run": lambda args: experiments.network_bandwidth(),
+        "run": _figure_runner("fig14b-bandwidth"),
         "columns": ["bandwidth_mbit", "protocol", "throughput_txn_s"],
         "paper": "Figure 14(b): impact of network bandwidth",
     },
     "fig14cd-regions": {
-        "run": lambda args: experiments.geo_regions(),
+        "run": _figure_runner("fig14cd-regions"),
         "columns": ["batch_size", "regions", "protocol", "throughput_txn_s"],
         "paper": "Figure 14(c,d): impact of geo-distribution",
     },
     "fig15-single-instance": {
-        "run": lambda args: experiments.single_instance_failures(),
+        "run": _figure_runner("fig15-single-instance"),
         "columns": ["ratio", "protocol", "throughput_txn_s"],
         "paper": "Figure 15: single-instance SpotLess versus HotStuff under failures",
     },
@@ -117,17 +155,17 @@ FIGURES: Dict[str, Dict[str, object]] = {
 
 ABLATIONS: Dict[str, Dict[str, object]] = {
     "commit-rule": {
-        "run": lambda args: ablations.commit_rule_safety(),
+        "run": _ablation_runner("commit-rule"),
         "columns": ["commit_rule", "commits_at_A", "commits_at_B", "conflicting_commits", "safe"],
         "paper": "Example 3.6: the three-consecutive-view commit rule versus a two-view rule",
     },
     "view-sync": {
-        "run": lambda args: ablations.view_synchronization_recovery(),
+        "run": _ablation_runner("view-sync"),
         "columns": ["view_sync_mode", "view_lag_at_heal", "view_lag_after_recovery", "caught_up"],
         "paper": "Rapid View Synchronization versus a GST-style pacemaker",
     },
     "timeouts": {
-        "run": lambda args: ablations.timeout_policy_stability(),
+        "run": _ablation_runner("timeouts"),
         "columns": [
             "timeout_policy",
             "confirmed_total",
@@ -138,7 +176,7 @@ ABLATIONS: Dict[str, Dict[str, object]] = {
         "paper": "Constant-ε adaptive timeouts versus exponential back-off (Figure 12 mechanism)",
     },
     "assignment": {
-        "run": lambda args: ablations.assignment_load_balance(),
+        "run": _ablation_runner("assignment"),
         "columns": [
             "assignment_policy",
             "instances",
@@ -149,7 +187,7 @@ ABLATIONS: Dict[str, Dict[str, object]] = {
         "paper": "Digest-based request assignment versus client-to-instance binding",
     },
     "fast-path": {
-        "run": lambda args: ablations.fast_path_latency(),
+        "run": _ablation_runner("fast-path"),
         "columns": ["fast_path", "mean_latency_s", "throughput_txn_s", "fast_path_proposals"],
         "paper": "Geo fast path (Section 6.1 optimisation)",
     },
@@ -183,11 +221,57 @@ def _run_named(table: Dict[str, Dict[str, object]], name: str, args: argparse.Na
     return 0
 
 
+def _dispatch_named(
+    table: Dict[str, Dict[str, object]], task: str, args: argparse.Namespace
+) -> int:
+    """Run one or all named figures/ablations through the dispatcher."""
+    from repro.dispatch import Dispatcher, ResultCache
+
+    if args.workers is not None and args.workers < 0:
+        print("--workers must be non-negative", file=sys.stderr)
+        return 2
+    if args.name == "all":
+        names = list(table)
+        if task == "figure" and (args.replicas or args.faulty is not None):
+            print(
+                "--replicas/--faulty are figure-specific; drop them with `all`",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        if args.name not in table:
+            known = ", ".join(sorted(table))
+            print(f"unknown name {args.name!r}; choose one of: {known}", file=sys.stderr)
+            return 2
+        names = [args.name]
+    payloads = []
+    for name in names:
+        payload: Dict[str, object] = {"name": name}
+        if task == "figure":
+            payload["kwargs"] = _figure_kwargs(name, args)
+        payloads.append(payload)
+    cache = None if args.no_cache else ResultCache()
+    dispatcher = Dispatcher(workers=args.workers, cache=cache)
+    all_rows = dispatcher.run(task, payloads)
+    for index, (name, rows) in enumerate(zip(names, all_rows)):
+        if index:
+            print()
+        spec = table[name]
+        print(spec["paper"])
+        print(format_table(rows, spec["columns"]))
+    print(f"dispatch: {dispatcher.last_stats.summary()}", file=sys.stderr)
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.name == "all" or args.workers is not None:
+        return _dispatch_named(FIGURES, "figure", args)
     return _run_named(FIGURES, args.name, args)
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
+    if args.name == "all" or args.workers is not None:
+        return _dispatch_named(ABLATIONS, "ablation", args)
     return _run_named(ABLATIONS, args.name, args)
 
 
@@ -212,6 +296,48 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_specs(
+    specs: List[object], args: argparse.Namespace, use_cache: bool = True
+) -> List[object]:
+    """Run scenario specs serially or through the dispatcher (``--workers``).
+
+    The serial path (no ``--workers``) is the historical in-process loop;
+    ``--workers`` routes the same specs through
+    :func:`repro.scenarios.run_matrix`'s dispatcher path, which adds the
+    worker pool and the result cache but returns identical results, so
+    both print byte-identical tables.  The dispatch accounting goes to
+    stderr to keep stdout comparable.
+    """
+    from repro.scenarios import run_matrix
+
+    if args.workers is None:
+        return run_matrix(specs)
+    from repro.dispatch import Dispatcher, ResultCache
+
+    cache = None if (args.no_cache or not use_cache) else ResultCache()
+    dispatcher = Dispatcher(workers=args.workers, cache=cache)
+    results = run_matrix(specs, dispatcher=dispatcher)
+    print(f"dispatch: {dispatcher.last_stats.summary()}", file=sys.stderr)
+    return results
+
+
+def _load_replay_spec(path: str):
+    """Load a ScenarioSpec from a replay/archive JSON file.
+
+    Accepts both a bare serialized spec and the fuzz archive envelope
+    (``{"spec": {...}, "violations": [...]}``).
+    """
+    from repro.scenarios import ScenarioSpec
+
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError("replay file must hold a JSON object (a spec or a fuzz archive)")
+    if "spec" in data and isinstance(data["spec"], dict):
+        data = data["spec"]
+    return ScenarioSpec.from_json_dict(data)
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -219,13 +345,52 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         FAULT_KINDS,
         PROTOCOLS,
         format_matrix,
-        run_matrix,
         scenario_matrix,
         single_fault_spec,
-        smoke_matrix,
     )
 
-    if args.matrix is not None:
+    if args.workers is not None and args.workers < 0:
+        print("--workers must be non-negative", file=sys.stderr)
+        return 2
+    if args.seed is not None and args.seeds:
+        print("--seed and --seeds are mutually exclusive", file=sys.stderr)
+        return 2
+    seeds = tuple(args.seeds) if args.seeds else (args.seed if args.seed is not None else 1,)
+    duration = args.duration if args.duration is not None else 0.4
+
+    if args.replay is not None:
+        # Anything that would alter the archived spec (including the
+        # checkpoint/liveness overrides) defeats the point of a replay:
+        # the run must reproduce the archive bit-for-bit.
+        conflicting = [
+            f"--{flag}"
+            for flag, value in (
+                ("matrix", args.matrix),
+                ("protocol", args.protocol),
+                ("fault", args.fault),
+                ("f", args.f),
+                ("seed", args.seed),
+                ("seeds", args.seeds),
+                ("duration", args.duration),
+                ("checkpoint-interval", args.checkpoint_interval),
+                ("lenient-liveness", args.lenient_liveness or None),
+            )
+            if value is not None and value != []
+        ]
+        if conflicting:
+            print(
+                f"--replay runs the archived spec as-is; drop {', '.join(conflicting)}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            spec = _load_replay_spec(args.replay)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"cannot replay {args.replay!r}: {error}", file=sys.stderr)
+            return 2
+        specs = [spec]
+        print(f"replaying archived scenario {spec.name!r} from {args.replay}")
+    elif args.matrix is not None:
         # The matrix fixes its own grid; silently ignoring the single-scenario
         # flags would let `--matrix smoke --f 2` masquerade as an f=2 run.
         conflicting = [
@@ -239,10 +404,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        if args.matrix == "smoke":
-            specs = smoke_matrix(seed=args.seed, duration=args.duration)
-        else:
-            specs = scenario_matrix(duration=args.duration, seeds=(args.seed,))
+        f_values = (1,) if args.matrix == "smoke" else (1, 2)
+        specs = scenario_matrix(f_values=f_values, duration=duration, seeds=seeds)
         print(f"scenario matrix {args.matrix!r}: {len(specs)} runs")
     else:
         protocol = args.protocol if args.protocol is not None else "spotless"
@@ -257,7 +420,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             print(f"unknown fault {fault!r}; choose one of: {known}", file=sys.stderr)
             return 2
         specs = [
-            single_fault_spec(protocol, fault, f=f, duration=args.duration, seed=args.seed)
+            single_fault_spec(protocol, fault, f=f, duration=duration, seed=seed)
+            for seed in seeds
         ]
     overrides = {}
     if args.checkpoint_interval is not None:
@@ -266,7 +430,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         overrides["strict_liveness"] = False
     if overrides:
         specs = [replace(spec, **overrides) for spec in specs]
-    results = run_matrix(specs)
+    # A replay must actually re-run the simulation — a cache hit would
+    # "reproduce" the archived violation without executing anything.
+    results = _run_specs(specs, args, use_cache=args.replay is None)
     print(format_matrix(results))
     violations = [v for result in results for v in result.violations]
     if violations:
@@ -275,6 +441,46 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             print(f"  {violation}", file=sys.stderr)
         return 1
     print(f"\ninvariant oracle: all {len(results)} scenarios clean")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.dispatch import MIN_FUZZ_DURATION, fuzz_matrix
+    from repro.scenarios import format_matrix
+
+    if args.count < 0:
+        print("--count must be non-negative", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 0:
+        print("--workers must be non-negative", file=sys.stderr)
+        return 2
+    if args.duration < MIN_FUZZ_DURATION:
+        print(f"--duration must be at least {MIN_FUZZ_DURATION}", file=sys.stderr)
+        return 2
+    specs = fuzz_matrix(args.count, seed=args.seed, duration=args.duration)
+    print(f"fuzz campaign: {len(specs)} randomized multi-fault scenarios (seed {args.seed})")
+    results = _run_specs(specs, args)
+    print(format_matrix(results))
+    failures = [result for result in results if result.violations]
+    if failures:
+        archive_dir = Path(args.archive_dir)
+        archive_dir.mkdir(parents=True, exist_ok=True)
+        print(f"\n{len(failures)} of {len(results)} fuzz scenarios violated invariants:", file=sys.stderr)
+        for result in failures:
+            archive = {
+                "spec": result.spec.to_json_dict(),
+                "violations": [v.to_json_dict() for v in result.violations],
+            }
+            path = archive_dir / f"{result.spec.name}.json"
+            with path.open("w", encoding="utf-8") as handle:
+                json.dump(archive, handle, indent=2, sort_keys=True)
+            print(
+                f"  {result.spec.name}: {len(result.violations)} violation(s), "
+                f"replay with `repro scenario --replay {path}`",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\nfuzz: all {len(results)} scenarios clean")
     return 0
 
 
@@ -303,13 +509,27 @@ def build_parser() -> argparse.ArgumentParser:
     complexity_parser.set_defaults(handler=_cmd_complexity)
 
     figure_parser = subparsers.add_parser("figure", help="regenerate one figure of the evaluation")
-    figure_parser.add_argument("name", help="figure name (see `repro list`)")
+    figure_parser.add_argument("name", help="figure name (see `repro list`), or `all` for every figure")
     figure_parser.add_argument("--replicas", type=int, nargs="*", help="replica counts (fig7a only)")
     figure_parser.add_argument("--faulty", type=int, default=None, help="failure count (fig12 only)")
+    figure_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="dispatch figures across N worker processes with the result cache",
+    )
+    figure_parser.add_argument(
+        "--no-cache", action="store_true", help="skip the dispatch result cache"
+    )
     figure_parser.set_defaults(handler=_cmd_figure)
 
     ablation_parser = subparsers.add_parser("ablation", help="run one design-choice ablation")
-    ablation_parser.add_argument("name", help="ablation name (see `repro list`)")
+    ablation_parser.add_argument("name", help="ablation name (see `repro list`), or `all` for every ablation")
+    ablation_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="dispatch ablations across N worker processes with the result cache",
+    )
+    ablation_parser.add_argument(
+        "--no-cache", action="store_true", help="skip the dispatch result cache"
+    )
     ablation_parser.set_defaults(handler=_cmd_ablation)
 
     cluster_parser = subparsers.add_parser("cluster", help="run a small message-level simulated cluster")
@@ -342,8 +562,34 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_parser.add_argument(
         "--f", type=int, default=None, help="faulty replicas, cluster size is 3f + 1 (default: 1)"
     )
-    scenario_parser.add_argument("--duration", type=float, default=0.4, help="simulated seconds per scenario")
-    scenario_parser.add_argument("--seed", type=int, default=1)
+    scenario_parser.add_argument(
+        "--duration", type=float, default=None, help="simulated seconds per scenario (default: 0.4)"
+    )
+    scenario_parser.add_argument("--seed", type=int, default=None, help="single seed (default: 1)")
+    scenario_parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="run every scenario of the grid at each of these seeds (excludes --seed)",
+    )
+    scenario_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard scenarios across N worker processes (results stay in grid order)",
+    )
+    scenario_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with --workers: always re-run cells instead of using the result cache",
+    )
+    scenario_parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-run one archived scenario spec (e.g. a failing fuzz cell) from JSON",
+    )
     scenario_parser.add_argument(
         "--checkpoint-interval",
         type=int,
@@ -356,6 +602,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="report post-heal stragglers as a column instead of failing the run",
     )
     scenario_parser.set_defaults(handler=_cmd_scenario)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="run randomized multi-fault scenarios; archive failing specs for replay",
+    )
+    fuzz_parser.add_argument("--count", type=int, default=20, help="number of fuzz scenarios")
+    fuzz_parser.add_argument("--seed", type=int, default=1, help="master seed of the campaign")
+    fuzz_parser.add_argument("--duration", type=float, default=0.4, help="simulated seconds per scenario")
+    fuzz_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard scenarios across N worker processes (results stay in campaign order)",
+    )
+    fuzz_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with --workers: always re-run cells instead of using the result cache",
+    )
+    fuzz_parser.add_argument(
+        "--archive-dir",
+        default="fuzz-failures",
+        help="directory that receives the replayable JSON spec of every failing cell",
+    )
+    fuzz_parser.set_defaults(handler=_cmd_fuzz)
 
     validate_parser = subparsers.add_parser(
         "validate", help="cross-validate the analytical model against the simulator"

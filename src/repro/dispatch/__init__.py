@@ -1,0 +1,40 @@
+"""Parallel experiment orchestration: dispatcher, result cache, fuzzer.
+
+Every grid-shaped workload in the reproduction — scenario matrices, figure
+sweeps, ablations, fuzz campaigns — is a list of independent cells, each
+deterministic in its own ``(spec, seed)``.  This package turns such a list
+into a parallel, cached, resumable job:
+
+* :class:`~repro.dispatch.dispatcher.Dispatcher` shards cells across a
+  ``multiprocessing`` pool and collects results in submission order, so
+  serial and parallel runs are byte-identical;
+* :class:`~repro.dispatch.cache.ResultCache` content-addresses every cell
+  by its canonical JSON payload plus a fingerprint of the source tree, so
+  re-running an unchanged grid is near-instant;
+* :func:`~repro.dispatch.fuzz.fuzz_matrix` composes randomized multi-fault
+  scenarios from a seed; failing cells are archived as replayable JSON.
+"""
+
+from repro.dispatch.cache import CACHE_DIR_ENV, CACHE_FORMAT, ResultCache, default_cache_dir
+from repro.dispatch.dispatcher import DispatchStats, Dispatcher
+from repro.dispatch.fingerprint import source_fingerprint
+from repro.dispatch.fuzz import FUZZ_KINDS, MIN_FUZZ_DURATION, fuzz_matrix, fuzz_spec
+from repro.dispatch.tasks import DispatchTask, get_task, register_task, task_names
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT",
+    "DispatchStats",
+    "DispatchTask",
+    "Dispatcher",
+    "FUZZ_KINDS",
+    "MIN_FUZZ_DURATION",
+    "ResultCache",
+    "default_cache_dir",
+    "fuzz_matrix",
+    "fuzz_spec",
+    "get_task",
+    "register_task",
+    "source_fingerprint",
+    "task_names",
+]

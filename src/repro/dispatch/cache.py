@@ -1,0 +1,150 @@
+"""Content-addressed result cache for dispatched experiment cells.
+
+Every cell of a grid-shaped workload (a scenario spec, a figure, an
+ablation) is keyed by a digest of three things: the task name, the cell's
+canonical JSON payload, and a fingerprint of the ``repro`` source tree
+(:mod:`repro.dispatch.fingerprint`).  The simulation is deterministic per
+``(spec, seed)``, so an unchanged cell under unchanged code always produces
+the same result — which makes serving it from disk indistinguishable from
+re-running it, and lets CI pay only for the cells a change actually touches.
+
+Entries are JSON files under ``<root>/<key[:2]>/<key>.json``.  Writes are
+atomic (tempfile + rename) so concurrent workers and interrupted runs never
+leave a truncated entry behind; corrupt or unreadable entries read as
+misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.dispatch.fingerprint import source_fingerprint
+
+#: Bump to orphan every existing cache entry on an incompatible layout change.
+CACHE_FORMAT = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Entries untouched for this long are pruned (every source change orphans
+#: a matrix worth of entries under the old fingerprint, so without an age
+#: bound the cache — and CI's persisted copy of it — grows monotonically).
+PRUNE_AFTER_SECONDS = 14 * 24 * 3600
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dispatch``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-dispatch"
+
+
+class ResultCache:
+    """Disk-backed, content-addressed store of dispatched cell results."""
+
+    def __init__(self, root: Optional[Path] = None, fingerprint: Optional[str] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        # Resolved once per cache instance; passing an explicit value lets
+        # tests simulate a source change without touching files.
+        self.fingerprint = fingerprint if fingerprint is not None else source_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self._pruned = False
+
+    # ------------------------------------------------------------------
+
+    def key(self, task: str, payload: Dict[str, Any]) -> str:
+        """Content address of one cell: task + canonical payload + source."""
+        canonical = json.dumps(
+            {
+                "format": CACHE_FORMAT,
+                "task": task,
+                "payload": payload,
+                "source": self.fingerprint,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored result for ``key``, or None on any kind of miss."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                value = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        try:
+            # Refresh recency so entries a live matrix keeps hitting never
+            # age out, while orphans (old fingerprints) eventually do.
+            os.utime(path)
+        except OSError:
+            pass
+        return value
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        """Atomically store ``value`` under ``key``."""
+        if not self._pruned:
+            # One sweep per writing cache instance keeps the store (and
+            # CI's persisted copy of it) bounded without a daemon.
+            self._pruned = True
+            self.prune()
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(value, handle, sort_keys=True)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def prune(self, max_age_seconds: float = PRUNE_AFTER_SECONDS) -> int:
+        """Delete entries untouched for ``max_age_seconds``; return the count.
+
+        Keys embed the source fingerprint, so entries written under an old
+        fingerprint can never be hit again — but they also cannot be told
+        apart by name.  Recency is the proxy: live entries are re-touched
+        on every hit (see :meth:`get`), orphans only age.
+        """
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - max_age_seconds
+        removed = 0
+        for pattern in ("*/*.json", "*/*.tmp"):  # .tmp: interrupted writes
+            for path in self.root.glob(pattern):
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue  # concurrent prune or hand-deleted entry
+        return removed
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT",
+    "PRUNE_AFTER_SECONDS",
+    "ResultCache",
+    "default_cache_dir",
+]

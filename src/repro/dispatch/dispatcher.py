@@ -1,0 +1,114 @@
+"""Shard grid-shaped workloads across a pool of worker processes.
+
+The simulation is fully deterministic per ``(spec, seed)`` and every cell of
+a matrix runs on its own freshly seeded cluster, so a grid is embarrassingly
+parallel: the :class:`Dispatcher` fans the cells out over a
+``multiprocessing`` pool and collects results back **in submission order**,
+which makes the serial and parallel runs of the same grid byte-identical —
+same tables, same golden digests.
+
+Cells carry their own deterministic seeds (derived by the matrix and fuzz
+builders via :func:`repro.sim.rng.derive_seed`), so nothing about the
+outcome depends on which worker picks a cell up or when.  A
+:class:`~repro.dispatch.cache.ResultCache` short-circuits cells whose
+content address already has a stored result; only the misses reach the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.dispatch.cache import ResultCache
+from repro.dispatch.tasks import get_task
+
+
+def _invoke(job: Tuple[str, Any]) -> Any:
+    """Worker entry point: resolve the task by name and run one payload.
+
+    Top-level on purpose — worker processes locate it by module path, so
+    it must never be a closure or a lambda.
+    """
+    task_name, payload = job
+    return get_task(task_name).run(payload)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (Linux/CI): workers inherit the imported
+    package instead of re-importing it, which keeps small grids cheap.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass(frozen=True)
+class DispatchStats:
+    """What one :meth:`Dispatcher.run` call actually did."""
+
+    total: int
+    cache_hits: int
+    executed: int
+    workers: int
+
+    def summary(self) -> str:
+        """One-line account, printed to stderr by the CLI."""
+        return (
+            f"{self.total} cells: {self.cache_hits} cached, "
+            f"{self.executed} executed on {self.workers} worker(s)"
+        )
+
+
+class Dispatcher:
+    """Runs work items of a registered task kind, parallel and cached."""
+
+    def __init__(self, workers: Optional[int] = None, cache: Optional[ResultCache] = None) -> None:
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.workers = workers if workers else 1
+        self.cache = cache
+        self.last_stats: Optional[DispatchStats] = None
+
+    def run(self, task_name: str, payloads: Sequence[Any]) -> List[Any]:
+        """Execute every payload and return results in payload order.
+
+        Cache hits are decoded in place; the remaining cells run on the
+        pool (or serially for ``workers <= 1``).  Fresh results are stored
+        back so the next unchanged run pays only for lookups.
+        """
+        task = get_task(task_name)
+        results: List[Any] = [None] * len(payloads)
+        keys: List[Optional[str]] = [None] * len(payloads)
+        pending: List[int] = []
+        for index, payload in enumerate(payloads):
+            if self.cache is not None:
+                keys[index] = self.cache.key(task_name, task.payload_json(payload))
+                stored = self.cache.get(keys[index])
+                if stored is not None:
+                    results[index] = task.decode(stored)
+                    continue
+            pending.append(index)
+
+        jobs = [(task_name, payloads[index]) for index in pending]
+        if self.workers > 1 and len(jobs) > 1:
+            context = _pool_context()
+            with context.Pool(processes=min(self.workers, len(jobs))) as pool:
+                outputs = pool.map(_invoke, jobs)
+        else:
+            outputs = [task.run(payload) for _, payload in jobs]
+
+        for index, output in zip(pending, outputs):
+            results[index] = output
+            if self.cache is not None and keys[index] is not None:
+                self.cache.put(keys[index], task.encode(output))
+
+        self.last_stats = DispatchStats(
+            total=len(payloads),
+            cache_hits=len(payloads) - len(pending),
+            executed=len(pending),
+            workers=self.workers,
+        )
+        return results
+
+
+__all__ = ["DispatchStats", "Dispatcher"]

@@ -1,0 +1,55 @@
+"""Source fingerprinting for result-cache invalidation.
+
+A cached result is only valid for the code that produced it.  Rather than
+tracking which modules a given cell transitively depends on, the cache keys
+every entry on a digest of the *entire* ``repro`` source tree: any change to
+any ``.py`` file invalidates everything.  That is deliberately coarse — the
+point of the cache is to make *unchanged* matrices near-instant, and a
+false invalidation only costs a re-run, while a false hit would silently
+serve stale results.
+
+The fingerprint hashes file contents (not mtimes), so re-checkouts and
+CI-runner clones with fresh timestamps still hit the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, Optional
+
+_FINGERPRINTS: Dict[str, str] = {}
+
+
+def _package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def source_fingerprint(root: Optional[Path] = None) -> str:
+    """Hex digest of every ``.py`` file under ``root`` (default: ``repro``).
+
+    Memoized per process and per root: the tree is read once, and every
+    cache lookup afterwards reuses the digest.  Long-lived processes that
+    edit source in place should create a fresh cache (new process) instead
+    of relying on re-fingerprinting.
+    """
+    root_path = (Path(root) if root is not None else _package_root()).resolve()
+    key = str(root_path)
+    cached = _FINGERPRINTS.get(key)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    for path in sorted(root_path.rglob("*.py")):
+        relative = path.relative_to(root_path).as_posix()
+        hasher.update(relative.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(path.read_bytes())
+        hasher.update(b"\x00")
+    digest = hasher.hexdigest()
+    _FINGERPRINTS[key] = digest
+    return digest
+
+
+__all__ = ["source_fingerprint"]

@@ -1,0 +1,120 @@
+"""Randomized multi-fault scenario generation.
+
+The hand-written matrices only exercise one fault family at a time.  The
+fuzzer composes what the matrices never try: overlapping crash, partition,
+latency and A1–A4 windows against a randomly drawn faulty set, at random
+``f``, with random checkpoint intervals — while staying inside the BFT
+threat model so the strict-liveness oracle is a meaningful judge:
+
+* at most ``f`` replicas ever misbehave (every event targets a subset of
+  one per-scenario ``faulty`` set);
+* every window heals well before the run ends, leaving the oracle a
+  post-heal liveness window;
+* partitions always keep the honest majority and all clients together.
+
+Everything derives from ``(master_seed, index)`` via
+:func:`repro.sim.rng.derive_seed`, so a fuzz campaign is exactly as
+reproducible as the matrices: the same seed regenerates the same specs, and
+any failing cell can be archived as JSON and replayed with
+``repro scenario --replay <file>``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.scenarios.spec import FaultEvent, ScenarioSpec, PROTOCOLS
+from repro.sim.rng import derive_seed
+
+#: Fault kinds the fuzzer composes (every scenario kind is fair game).
+FUZZ_KINDS = ("crash", "partition", "latency", "A1", "A2", "A3", "A4")
+
+#: Events must heal by this fraction of the run so liveness is always judged.
+_HEAL_DEADLINE = 0.7
+
+#: Event times are rounded to 6 decimals, so runs shorter than this would
+#: collapse fault windows to zero width; they would also be meaningless
+#: against the oracle's 0.05 s check interval.
+MIN_FUZZ_DURATION = 0.01
+
+
+def _fuzz_event(
+    rng: random.Random,
+    kind: str,
+    duration: float,
+    faulty: Tuple[int, ...],
+    honest: Tuple[int, ...],
+    clients: Tuple[int, ...],
+) -> FaultEvent:
+    """One randomized, healing fault window of the given kind."""
+    at = round(rng.uniform(0.05, 0.45) * duration, 6)
+    until = round(min(at + rng.uniform(0.08, 0.4) * duration, _HEAL_DEADLINE * duration), 6)
+    if until <= at:
+        until = round(at + 0.05 * duration, 6)
+    if kind == "latency":
+        return FaultEvent(kind="latency", at=at, until=until, factor=round(rng.uniform(2.0, 6.0), 2))
+    attackers = tuple(sorted(rng.sample(faulty, rng.randint(1, len(faulty)))))
+    if kind == "partition":
+        # Isolate the attackers; the honest majority and every client stay
+        # on one side, so a quorum (n - f >= 2f + 1) remains reachable.
+        majority = tuple(sorted(set(faulty) - set(attackers))) + honest + clients
+        return FaultEvent(kind="partition", at=at, until=until, groups=(majority, attackers))
+    if kind in ("A2", "A3"):
+        victims = tuple(sorted(rng.sample(honest, rng.randint(1, len(faulty)))))
+        return FaultEvent(kind=kind, at=at, until=until, replicas=attackers, victims=victims)
+    return FaultEvent(kind=kind, at=at, until=until, replicas=attackers)
+
+
+def fuzz_spec(
+    master_seed: int,
+    index: int,
+    duration: float = 0.4,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> ScenarioSpec:
+    """The ``index``-th randomized multi-fault scenario of a campaign.
+
+    Depends only on ``(master_seed, index)`` — not on how many cells the
+    campaign has or which worker runs it — so any single cell of a large
+    campaign can be regenerated (or re-run) in isolation.
+    """
+    if duration < MIN_FUZZ_DURATION:
+        raise ValueError(f"fuzz duration must be at least {MIN_FUZZ_DURATION}")
+    cell_seed = derive_seed(master_seed, "fuzz", index)
+    rng = random.Random(cell_seed)
+    protocol = rng.choice(tuple(protocols))
+    f = rng.choice((1, 1, 2))  # biased small: f=2 runs cost ~4x
+    n = 3 * f + 1
+    num_clients = 2
+    faulty = tuple(sorted(rng.sample(range(n), f)))
+    honest = tuple(replica for replica in range(n) if replica not in faulty)
+    clients = tuple(range(n, n + num_clients))
+    events = tuple(
+        _fuzz_event(rng, rng.choice(FUZZ_KINDS), duration, faulty, honest, clients)
+        for _ in range(rng.randint(1, 3))
+    )
+    return ScenarioSpec(
+        name=f"fuzz-{master_seed}-{index}",
+        protocol=protocol,
+        f=f,
+        clients=num_clients,
+        duration=duration,
+        seed=cell_seed & 0x7FFFFFFF,
+        events=events,
+        checkpoint_interval=rng.choice((4, 8, 16)),
+    )
+
+
+def fuzz_matrix(
+    count: int,
+    seed: int = 1,
+    duration: float = 0.4,
+    protocols: Sequence[str] = PROTOCOLS,
+) -> List[ScenarioSpec]:
+    """``count`` randomized multi-fault scenarios derived from ``seed``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [fuzz_spec(seed, index, duration=duration, protocols=protocols) for index in range(count)]
+
+
+__all__ = ["FUZZ_KINDS", "MIN_FUZZ_DURATION", "fuzz_matrix", "fuzz_spec"]

@@ -1,0 +1,143 @@
+"""The registry of dispatchable task kinds.
+
+A :class:`DispatchTask` packages everything the dispatcher and the result
+cache need to handle one kind of work item:
+
+* ``run`` — execute one payload and return its result (this is what worker
+  processes call, so it must be resolvable by name — never a closure);
+* ``payload_json`` — the canonical JSON form of a payload, used as the
+  content-address of the cell in the :class:`~repro.dispatch.cache.ResultCache`;
+* ``encode``/``decode`` — convert a result to/from the JSON value stored in
+  the cache, such that a decoded result is indistinguishable from a fresh one.
+
+Three task kinds are registered: ``scenario`` (one
+:class:`~repro.scenarios.spec.ScenarioSpec` through the chaos runner with
+the invariant oracle armed), ``figure`` (one named experiment from
+:mod:`repro.bench.experiments`) and ``ablation`` (one named ablation from
+:mod:`repro.bench.ablations`).  Scenario cells are the unit of the matrix
+and fuzz fan-outs; figure/ablation cells let a whole evaluation sweep run
+as one cached parallel job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class DispatchTask:
+    """One dispatchable kind of work item."""
+
+    name: str
+    run: Callable[[Any], Any]
+    payload_json: Callable[[Any], Dict[str, Any]]
+    encode: Callable[[Any], Any]
+    decode: Callable[[Any], Any]
+
+
+_TASKS: Dict[str, DispatchTask] = {}
+
+
+def register_task(task: DispatchTask) -> DispatchTask:
+    """Register ``task`` under its name (last registration wins)."""
+    _TASKS[task.name] = task
+    return task
+
+
+def get_task(name: str) -> DispatchTask:
+    """Look up a registered task kind."""
+    try:
+        return _TASKS[name]
+    except KeyError:
+        known = ", ".join(sorted(_TASKS))
+        raise KeyError(f"unknown dispatch task {name!r}; registered: {known}") from None
+
+
+def task_names() -> List[str]:
+    """Names of every registered task kind."""
+    return sorted(_TASKS)
+
+
+# ----------------------------------------------------------------------
+# scenario cells
+# ----------------------------------------------------------------------
+
+
+def _run_scenario_cell(spec) -> Any:
+    # Imported lazily: worker processes resolve this function by module
+    # path, and the scenarios package must not be a hard import cost for
+    # callers that only dispatch bench cells.
+    from repro.scenarios.runner import run_scenario
+
+    return run_scenario(spec)
+
+
+def _scenario_payload_json(spec) -> Dict[str, Any]:
+    return spec.to_json_dict()
+
+
+def _scenario_encode(result) -> Any:
+    return result.to_json_dict()
+
+
+def _scenario_decode(value) -> Any:
+    from repro.scenarios.runner import ScenarioResult
+
+    return ScenarioResult.from_json_dict(value)
+
+
+register_task(
+    DispatchTask(
+        name="scenario",
+        run=_run_scenario_cell,
+        payload_json=_scenario_payload_json,
+        encode=_scenario_encode,
+        decode=_scenario_decode,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# figure and ablation cells: payloads are {"name": ..., "kwargs": {...}}
+# ----------------------------------------------------------------------
+
+
+def _run_figure_cell(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    from repro.bench.experiments import run_figure
+
+    return run_figure(payload["name"], payload.get("kwargs") or {})
+
+
+def _run_ablation_cell(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    from repro.bench.ablations import run_ablation
+
+    return run_ablation(payload["name"])
+
+
+def _identity(value: Any) -> Any:
+    return value
+
+
+register_task(
+    DispatchTask(
+        name="figure",
+        run=_run_figure_cell,
+        payload_json=_identity,
+        encode=_identity,
+        decode=_identity,
+    )
+)
+
+register_task(
+    DispatchTask(
+        name="ablation",
+        run=_run_ablation_cell,
+        payload_json=_identity,
+        encode=_identity,
+        decode=_identity,
+    )
+)
+
+
+__all__ = ["DispatchTask", "get_task", "register_task", "task_names"]

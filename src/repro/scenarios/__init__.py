@@ -19,6 +19,7 @@ from repro.scenarios.spec import (
     ATTACK_KINDS,
     FAULT_KINDS,
     PROTOCOLS,
+    SPEC_FORMAT,
     FaultEvent,
     ScenarioSpec,
     scenario_matrix,
@@ -30,6 +31,7 @@ __all__ = [
     "ATTACK_KINDS",
     "FAULT_KINDS",
     "PROTOCOLS",
+    "SPEC_FORMAT",
     "FaultEvent",
     "InvariantOracle",
     "InvariantViolation",

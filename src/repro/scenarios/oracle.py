@@ -39,6 +39,16 @@ class InvariantViolation:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"[{self.invariant} @ {self.time:.3f}s] {self.detail}"
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-serializable form — the one shape the result cache and the
+        fuzz archives both store, so the two can never drift apart."""
+        return {"invariant": self.invariant, "time": self.time, "detail": self.detail}
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "InvariantViolation":
+        """Rebuild a violation from :meth:`to_json_dict` output."""
+        return cls(invariant=data["invariant"], time=data["time"], detail=data["detail"])
+
 
 @dataclass(frozen=True)
 class ProgressSample:

@@ -12,7 +12,7 @@ specs and renders the one-line-per-scenario summary table the CLI prints.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
 from repro.bench.cluster import SimulatedCluster
@@ -75,6 +75,38 @@ class ScenarioResult:
             "stragglers": ",".join(map(str, self.stragglers)) or "-",
             "digest": self.summary_digest(),
         }
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation of the full result.
+
+        Everything the summary table and the digest depend on round-trips,
+        so a result loaded from the dispatch cache renders the exact same
+        row as the run that produced it.
+        """
+        return {
+            "spec": self.spec.to_json_dict(),
+            "confirmed_transactions": self.confirmed_transactions,
+            "executed_transactions": self.executed_transactions,
+            "committed_per_replica": list(self.committed_per_replica),
+            "violations": [v.to_json_dict() for v in self.violations],
+            "checks_run": self.checks_run,
+            "stragglers": list(self.stragglers),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_json_dict` output."""
+        return cls(
+            spec=ScenarioSpec.from_json_dict(data["spec"]),
+            confirmed_transactions=data["confirmed_transactions"],
+            executed_transactions=data["executed_transactions"],
+            committed_per_replica=tuple(data["committed_per_replica"]),
+            violations=tuple(
+                InvariantViolation.from_json_dict(v) for v in data["violations"]
+            ),
+            checks_run=data["checks_run"],
+            stragglers=tuple(data["stragglers"]),
+        )
 
 
 class ScenarioRunner:
@@ -151,9 +183,35 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     return ScenarioRunner(spec).run()
 
 
-def run_matrix(specs: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
-    """Run every spec in order (each on its own freshly seeded cluster)."""
-    return [run_scenario(spec) for spec in specs]
+def run_matrix(
+    specs: Sequence[ScenarioSpec],
+    workers: Optional[int] = None,
+    cache: Optional[object] = None,
+    dispatcher: Optional[object] = None,
+) -> List[ScenarioResult]:
+    """Run every spec and return results in spec order.
+
+    With ``workers`` unset (or <= 1), no ``cache`` and no ``dispatcher``,
+    every spec runs serially in this process — the historical behaviour.
+    Otherwise the specs are sharded through
+    :class:`repro.dispatch.Dispatcher`: each cell runs on its own freshly
+    seeded cluster in a worker process, results are collected back in spec
+    order, and a :class:`repro.dispatch.ResultCache` (if given) serves
+    unchanged cells without re-running them.  Both paths produce identical
+    results — the simulation is deterministic per ``(spec, seed)``, which
+    is what makes the fan-out safe.
+
+    Pass a pre-built ``dispatcher`` (its ``cache`` included) to read the
+    run's :class:`~repro.dispatch.dispatcher.DispatchStats` afterwards;
+    ``workers``/``cache`` are ignored in that case.
+    """
+    if dispatcher is None:
+        if (workers is None or workers <= 1) and cache is None:
+            return [run_scenario(spec) for spec in specs]
+        from repro.dispatch import Dispatcher
+
+        dispatcher = Dispatcher(workers=workers, cache=cache)
+    return dispatcher.run("scenario", list(specs))
 
 
 MATRIX_COLUMNS = [

@@ -14,8 +14,11 @@ implemented protocol crossed with every fault family at f ∈ {1, 2}.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Schema version stamped into serialized specs; bump on incompatible change.
+SPEC_FORMAT = 1
 
 #: Fault families understood by the scenario compiler.
 ATTACK_KINDS = ("A1", "A2", "A3", "A4")
@@ -63,6 +66,23 @@ class FaultEvent:
         if self.kind == "latency":
             return f"latency x{self.factor:g}{window}"
         return f"{self.kind}{self.replicas}{window}"
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation of the event."""
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        """Rebuild an event from :meth:`to_json_dict` output (validates)."""
+        return cls(
+            kind=data["kind"],
+            at=data["at"],
+            until=data.get("until"),
+            replicas=tuple(data.get("replicas", ())),
+            victims=tuple(data.get("victims", ())),
+            groups=tuple(tuple(group) for group in data.get("groups", ())),
+            factor=data.get("factor", 4.0),
+        )
 
 
 @dataclass(frozen=True)
@@ -157,6 +177,32 @@ class ScenarioSpec:
             return "none"
         return "+".join(event.kind for event in self.events)
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation of the whole spec.
+
+        The output is stable (insertion order fixed by the dataclass field
+        order) and round-trips through :meth:`from_json_dict`, which is what
+        lets the dispatch layer key its result cache on a spec, archive
+        failing fuzz cells, and replay them later byte-for-byte.
+        """
+        data = asdict(self)
+        data["format"] = SPEC_FORMAT
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json_dict` output.
+
+        Goes through the constructor, so a hand-edited or corrupted archive
+        fails validation instead of producing a silently-wrong run.
+        """
+        version = data.get("format", SPEC_FORMAT)
+        if version != SPEC_FORMAT:
+            raise ValueError(f"unsupported ScenarioSpec format {version!r} (expected {SPEC_FORMAT})")
+        fields = {key: value for key, value in data.items() if key not in ("format", "events")}
+        fields["events"] = tuple(FaultEvent.from_json_dict(event) for event in data.get("events", ()))
+        return cls(**fields)
+
 
 def single_fault_spec(
     protocol: str,
@@ -238,6 +284,7 @@ __all__ = [
     "ATTACK_KINDS",
     "FAULT_KINDS",
     "PROTOCOLS",
+    "SPEC_FORMAT",
     "FaultEvent",
     "ScenarioSpec",
     "scenario_matrix",

@@ -102,6 +102,26 @@ class DeterministicRng:
         return low
 
 
+def derive_seed(seed: int, *names: object) -> int:
+    """Derive an independent sub-seed from ``seed`` and a path of names.
+
+    The dispatch layer uses this to give every cell of a sharded workload
+    (a fuzz index, a matrix coordinate) its own deterministic seed: the
+    derivation only depends on ``(seed, names)``, never on which worker
+    process picks the cell up or in what order, so serial and parallel runs
+    of the same grid draw identical randomness per cell.
+
+    Each component is folded with a length prefix so the component
+    *boundaries* are part of the derivation — ``("fuzz", 11)`` and
+    ``("fuzz1", 1)`` concatenate identically but must not collide.
+    """
+    value = seed
+    for name in names:
+        text = str(name)
+        value = DeterministicRng._derive(value, f"{len(text)}:{text}")
+    return value
+
+
 def zipf_cdf(population: int, theta: float = 0.99) -> list[float]:
     """Cumulative distribution table for a zipfian distribution.
 
@@ -121,4 +141,4 @@ def zipf_cdf(population: int, theta: float = 0.99) -> list[float]:
     return cdf
 
 
-__all__ = ["DeterministicRng", "zipf_cdf"]
+__all__ = ["DeterministicRng", "derive_seed", "zipf_cdf"]

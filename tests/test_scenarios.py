@@ -501,6 +501,60 @@ def test_crash_then_heal_ledger_digests_are_prefix_consistent():
 
 
 # ---------------------------------------------------------------------------
+# dispatch integration: cross-process determinism and JSON replayability
+# ---------------------------------------------------------------------------
+
+
+def test_dispatcher_worker_reproduces_in_process_digest():
+    # The same spec run in this process and through a Dispatcher worker
+    # pool must be indistinguishable — this is what makes the parallel
+    # matrix byte-identical to the serial one.
+    import multiprocessing
+
+    from repro.dispatch import Dispatcher
+
+    spec = single_fault_spec("rcc", "A2", f=1, duration=0.3, seed=7)
+    in_process = run_scenario(spec)
+    workers = 2 if "fork" in multiprocessing.get_all_start_methods() else 1
+    dispatched = Dispatcher(workers=workers).run("scenario", [spec, spec])
+    for result in dispatched:
+        assert result.summary_digest() == in_process.summary_digest()
+        assert result.committed_per_replica == in_process.committed_per_replica
+        assert result.row() == in_process.row()
+
+
+def test_spec_json_roundtrip_rerun_reproduces_the_digest():
+    # serialize -> deserialize -> re-run must land on the original digest;
+    # this is the property that makes archived fuzz failures replayable.
+    import json
+
+    from repro.dispatch import fuzz_spec
+
+    for spec in (
+        single_fault_spec("hotstuff", "crash", f=1, duration=0.3, seed=5),
+        fuzz_spec(11, 0, duration=0.2),  # multi-fault script included
+    ):
+        original = run_scenario(spec)
+        revived = ScenarioSpec.from_json_dict(json.loads(json.dumps(spec.to_json_dict())))
+        assert revived == spec
+        replayed = run_scenario(revived)
+        assert replayed.summary_digest() == original.summary_digest()
+        assert replayed.committed_per_replica == original.committed_per_replica
+
+
+def test_scenario_result_json_roundtrip_renders_identically():
+    result = run_scenario(single_fault_spec("pbft", "A4", f=1, duration=0.2, seed=1))
+    import json
+
+    from repro.scenarios import ScenarioResult
+
+    revived = ScenarioResult.from_json_dict(json.loads(json.dumps(result.to_json_dict())))
+    assert revived.row() == result.row()
+    assert revived.summary_digest() == result.summary_digest()
+    assert revived.violations == result.violations
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
