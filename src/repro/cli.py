@@ -13,6 +13,8 @@ The CLI exposes the experiment harness without writing any Python::
     python -m repro scenario --protocol rcc --fault A3 --f 1 --duration 0.5
     python -m repro scenario --replay fuzz-failures/fuzz-1-17.json
     python -m repro fuzz --count 50 --seed 1
+    python -m repro triage minimize fuzz-failures/fuzz-1-42.json --ingest
+    python -m repro triage corpus --workers 4
     python -m repro validate
 
 ``figure`` names map one-to-one onto the per-figure experiment functions in
@@ -38,6 +40,11 @@ from repro.analysis.report import format_table
 from repro.analysis.validation import cross_validate_protocols, validation_report
 from repro.bench import ablations, experiments
 from repro.bench.cluster import SimulatedCluster
+
+#: Default regression-corpus location shared by the fuzz/triage verbs.
+#: Kept as a literal (not an import of repro.triage.DEFAULT_CORPUS_DIR) so
+#: building the parser never pays for the triage imports.
+DEFAULT_CORPUS_DIR = str(Path("fuzz-failures") / "corpus")
 
 
 def _figure_kwargs(name: str, args: argparse.Namespace) -> Dict[str, object]:
@@ -444,6 +451,60 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _triage_failures(args: argparse.Namespace, failures: List[object]) -> None:
+    """Minimize every failing fuzz cell and pin new findings in the corpus.
+
+    Minimizations are dispatched as ``triage-minimize`` cells: with
+    ``--workers`` several findings minimize side by side, and a whole
+    unchanged minimization re-serves from the result cache.  Findings that
+    no longer reproduce (the archive predates a fix) are reported, not
+    ingested.
+    """
+    from repro.dispatch import Dispatcher, ResultCache
+    from repro.triage import Corpus
+
+    use_cache = not args.no_cache
+    payloads = [
+        {"spec": result.spec.to_json_dict(), "cache": use_cache} for result in failures
+    ]
+    dispatcher = Dispatcher(workers=args.workers, cache=ResultCache() if use_cache else None)
+    minimized = dispatcher.run("triage-minimize", payloads)
+    corpus = Corpus(Path(args.corpus_dir))
+    print("\ntriage:", file=sys.stderr)
+    for result, minimization in zip(failures, minimized):
+        if not minimization.reproduced:
+            print(
+                f"  {result.spec.name}: could not reproduce the failure on re-run; "
+                f"not ingested (archive kept)",
+                file=sys.stderr,
+            )
+            continue
+        archive = str(Path(args.archive_dir) / f"{result.spec.name}.json")
+        try:
+            entry, created = corpus.ingest(
+                minimization.minimized, minimization.signature, source=archive
+            )
+        except ValueError as error:
+            # A corrupt corpus blocks pinning, not the campaign: the raw
+            # archive written above still holds the finding.
+            print(f"  {result.spec.name}: cannot ingest: {error}", file=sys.stderr)
+            continue
+        spec = minimization.minimized
+        if created:
+            print(
+                f"  {result.spec.name}: minimized to {len(spec.events)} event(s) / "
+                f"{spec.duration:g}s in {minimization.attempts} runs, pinned as corpus "
+                f"entry {entry.name!r} ({corpus.path_for(entry.name)})",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"  {result.spec.name}: duplicate of corpus entry {entry.name!r} "
+                f"(signature {entry.signature.key()})",
+                file=sys.stderr,
+            )
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.dispatch import MIN_FUZZ_DURATION, fuzz_matrix
     from repro.scenarios import format_matrix
@@ -479,9 +540,143 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 f"replay with `repro scenario --replay {path}`",
                 file=sys.stderr,
             )
+        if not args.no_minimize:
+            _triage_failures(args, failures)
         return 1
     print(f"\nfuzz: all {len(results)} scenarios clean")
     return 0
+
+
+def _cmd_triage_minimize(args: argparse.Namespace) -> int:
+    from repro.dispatch import ResultCache
+    from repro.triage import Corpus, minimize_spec
+
+    if args.workers is not None and args.workers < 0:
+        print("--workers must be non-negative", file=sys.stderr)
+        return 2
+    if args.max_attempts < 1:
+        print("--max-attempts must be positive", file=sys.stderr)
+        return 2
+    try:
+        spec = _load_replay_spec(args.spec)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"cannot minimize {args.spec!r}: {error}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache()
+    result = minimize_spec(
+        spec, workers=args.workers, cache=cache, max_attempts=args.max_attempts
+    )
+    if not result.reproduced:
+        print(
+            f"{spec.name!r} ran clean — no failure signature to minimize "
+            f"(fixed since the archive was written?)",
+            file=sys.stderr,
+        )
+        return 1
+    before, after = result.original, result.minimized
+    print(
+        f"minimized {spec.name!r}: {len(before.events)} -> {len(after.events)} event(s), "
+        f"duration {before.duration:g}s -> {after.duration:g}s, f={before.f} -> {after.f} "
+        f"({result.reductions} reductions in {result.attempts} runs)",
+        file=sys.stderr,
+    )
+    print(f"signature: {result.signature.label()} ({result.signature.key()})", file=sys.stderr)
+    blob = json.dumps(after.to_json_dict(), indent=2, sort_keys=True)
+    if args.output:
+        try:
+            Path(args.output).write_text(blob + "\n", encoding="utf-8")
+        except OSError as error:
+            # Minutes of minimization may be behind us; dump the spec to
+            # stdout rather than lose it to a bad output path.
+            print(f"cannot write {args.output!r}: {error}", file=sys.stderr)
+            print(blob)
+            return 1
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(blob)
+    if args.ingest:
+        corpus = Corpus(Path(args.corpus_dir))
+        try:
+            entry, created = corpus.ingest(after, result.signature, source=args.spec)
+        except ValueError as error:
+            # A corrupt entry file anywhere in the corpus blocks dedup; the
+            # minimized spec was already emitted above, so only the pinning
+            # failed.
+            print(f"cannot ingest into {corpus.root}: {error}", file=sys.stderr)
+            return 1
+        if created:
+            print(f"pinned as corpus entry {corpus.path_for(entry.name)}", file=sys.stderr)
+        else:
+            print(
+                f"signature already pinned by corpus entry {entry.name!r}; nothing ingested",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _cmd_triage_corpus(args: argparse.Namespace) -> int:
+    from repro.dispatch import ResultCache
+    from repro.triage import Corpus, format_corpus, replay_corpus
+
+    if args.workers is not None and args.workers < 0:
+        print("--workers must be non-negative", file=sys.stderr)
+        return 2
+    corpus = Corpus(Path(args.corpus_dir))
+    if args.promote:
+        try:
+            entry = corpus.promote(args.promote)
+        except (KeyError, ValueError) as error:
+            # ValueError: a corrupt entry file anywhere in the corpus.
+            print(str(error), file=sys.stderr)
+            return 2
+        print(f"promoted {entry.name!r} to a passing regression")
+        return 0
+    try:
+        entries = corpus.entries()
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"corpus at {corpus.root} is empty; `repro fuzz` findings land here")
+        return 0
+    cache = None if args.no_cache else ResultCache()
+    outcomes = replay_corpus(corpus, workers=args.workers, cache=cache, entries=entries)
+    print(f"corpus replay: {len(outcomes)} entries from {corpus.root}")
+    print(format_corpus(outcomes))
+    broken = [outcome for outcome in outcomes if not outcome.ok]
+    fixed = [outcome for outcome in outcomes if outcome.status == "fixed"]
+    for outcome in fixed:
+        print(
+            f"\n{outcome.entry.name!r} no longer fails — its bug looks fixed; promote it "
+            f"with `repro triage corpus --promote {outcome.entry.name}`",
+            file=sys.stderr,
+        )
+    if broken:
+        print(f"\n{len(broken)} corpus entries changed behaviour:", file=sys.stderr)
+        for outcome in broken:
+            observed = outcome.row()["observed"]
+            print(
+                f"  {outcome.entry.name}: {outcome.status} "
+                f"(expected {outcome.entry.signature.key()}, observed {observed})",
+                file=sys.stderr,
+            )
+        return 1
+    if fixed:
+        print(
+            f"\ncorpus: {len(outcomes) - len(fixed)} of {len(outcomes)} entries behave "
+            f"as pinned; {len(fixed)} now run clean and await promotion"
+        )
+    else:
+        print(f"\ncorpus: all {len(outcomes)} entries behave as pinned")
+    return 0
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    handler = getattr(args, "triage_handler", None)
+    if handler is None:
+        print("usage: repro triage {minimize,corpus} ...", file=sys.stderr)
+        return 2
+    return handler(args)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -626,7 +821,91 @@ def build_parser() -> argparse.ArgumentParser:
         default="fuzz-failures",
         help="directory that receives the replayable JSON spec of every failing cell",
     )
+    fuzz_parser.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="archive failing cells raw instead of auto-minimizing them into the corpus",
+    )
+    fuzz_parser.add_argument(
+        "--corpus-dir",
+        default=DEFAULT_CORPUS_DIR,
+        help="regression corpus directory that minimized findings are pinned into",
+    )
     fuzz_parser.set_defaults(handler=_cmd_fuzz)
+
+    triage_parser = subparsers.add_parser(
+        "triage",
+        help="minimize failing scenarios and maintain the regression corpus",
+    )
+    triage_parser.set_defaults(handler=_cmd_triage)
+    triage_subparsers = triage_parser.add_subparsers(dest="triage_command")
+
+    minimize_parser = triage_subparsers.add_parser(
+        "minimize",
+        help="delta-debug one archived failing spec down to a minimal reproduction",
+    )
+    minimize_parser.add_argument(
+        "spec", help="JSON file holding the failing spec (bare spec or fuzz archive)"
+    )
+    minimize_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="evaluate candidate reductions across N worker processes",
+    )
+    minimize_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always re-run candidates instead of using the result cache",
+    )
+    minimize_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=256,
+        help="ceiling on candidate evaluations (default: 256)",
+    )
+    minimize_parser.add_argument(
+        "--output", default=None, metavar="FILE", help="write the minimized spec JSON here"
+    )
+    minimize_parser.add_argument(
+        "--ingest",
+        action="store_true",
+        help="pin the minimized spec in the regression corpus (dedup by signature)",
+    )
+    minimize_parser.add_argument(
+        "--corpus-dir",
+        default=DEFAULT_CORPUS_DIR,
+        help="regression corpus directory used by --ingest",
+    )
+    minimize_parser.set_defaults(triage_handler=_cmd_triage_minimize)
+
+    corpus_parser = triage_subparsers.add_parser(
+        "corpus",
+        help="replay every corpus entry and classify still-failing / fixed / signature-changed",
+    )
+    corpus_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="replay entries across N worker processes",
+    )
+    corpus_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always re-run entries instead of using the result cache",
+    )
+    corpus_parser.add_argument(
+        "--corpus-dir",
+        default=DEFAULT_CORPUS_DIR,
+        help="regression corpus directory to replay",
+    )
+    corpus_parser.add_argument(
+        "--promote",
+        default=None,
+        metavar="NAME",
+        help="flip one fixed entry to a passing regression instead of replaying",
+    )
+    corpus_parser.set_defaults(triage_handler=_cmd_triage_corpus)
 
     validate_parser = subparsers.add_parser(
         "validate", help="cross-validate the analytical model against the simulator"

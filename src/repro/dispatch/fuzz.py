@@ -48,10 +48,11 @@ def _fuzz_event(
     clients: Tuple[int, ...],
 ) -> FaultEvent:
     """One randomized, healing fault window of the given kind."""
+    # `at` tops out at 0.45 x duration and the window is at least 0.08 x
+    # duration wide, so `until` always lands strictly after `at` even when
+    # clamped to the 0.7 x duration heal deadline.
     at = round(rng.uniform(0.05, 0.45) * duration, 6)
     until = round(min(at + rng.uniform(0.08, 0.4) * duration, _HEAL_DEADLINE * duration), 6)
-    if until <= at:
-        until = round(at + 0.05 * duration, 6)
     if kind == "latency":
         return FaultEvent(kind="latency", at=at, until=until, factor=round(rng.uniform(2.0, 6.0), 2))
     attackers = tuple(sorted(rng.sample(faulty, rng.randint(1, len(faulty)))))
@@ -89,9 +90,17 @@ def fuzz_spec(
     faulty = tuple(sorted(rng.sample(range(n), f)))
     honest = tuple(replica for replica in range(n) if replica not in faulty)
     clients = tuple(range(n, n + num_clients))
+    # Chronological order: archived and minimized specs read top-to-bottom
+    # as a timeline (injection itself is order-independent — every event
+    # schedules at its own `at`).
     events = tuple(
-        _fuzz_event(rng, rng.choice(FUZZ_KINDS), duration, faulty, honest, clients)
-        for _ in range(rng.randint(1, 3))
+        sorted(
+            (
+                _fuzz_event(rng, rng.choice(FUZZ_KINDS), duration, faulty, honest, clients)
+                for _ in range(rng.randint(1, 3))
+            ),
+            key=lambda event: (event.at, event.until, event.kind),
+        )
     )
     return ScenarioSpec(
         name=f"fuzz-{master_seed}-{index}",

@@ -10,13 +10,17 @@ cache need to handle one kind of work item:
 * ``encode``/``decode`` — convert a result to/from the JSON value stored in
   the cache, such that a decoded result is indistinguishable from a fresh one.
 
-Three task kinds are registered: ``scenario`` (one
+Four task kinds are registered: ``scenario`` (one
 :class:`~repro.scenarios.spec.ScenarioSpec` through the chaos runner with
 the invariant oracle armed), ``figure`` (one named experiment from
-:mod:`repro.bench.experiments`) and ``ablation`` (one named ablation from
-:mod:`repro.bench.ablations`).  Scenario cells are the unit of the matrix
-and fuzz fan-outs; figure/ablation cells let a whole evaluation sweep run
-as one cached parallel job.
+:mod:`repro.bench.experiments`), ``ablation`` (one named ablation from
+:mod:`repro.bench.ablations`) and ``triage-minimize`` (one failing spec
+through the delta-debugging minimizer of :mod:`repro.triage.minimize`).
+Scenario cells are the unit of the matrix and fuzz fan-outs;
+figure/ablation cells let a whole evaluation sweep run as one cached
+parallel job; triage cells let ``repro fuzz`` minimize every failing cell
+of a campaign in parallel, with whole minimizations content-addressed so
+an unchanged finding re-serves from cache.
 """
 
 from __future__ import annotations
@@ -94,6 +98,51 @@ register_task(
         payload_json=_scenario_payload_json,
         encode=_scenario_encode,
         decode=_scenario_decode,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# triage cells: payload is {"spec": <spec json>, "cache": bool}
+# ----------------------------------------------------------------------
+
+
+def _run_triage_cell(payload: Dict[str, Any]) -> Any:
+    # One whole minimization per cell.  Candidate evaluation inside the
+    # worker stays serial (nesting pools in pool workers is not supported);
+    # parallelism comes from minimizing several findings side by side.
+    from repro.dispatch.cache import ResultCache
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.triage.minimize import minimize_spec
+
+    spec = ScenarioSpec.from_json_dict(payload["spec"])
+    cache = ResultCache() if payload.get("cache", True) else None
+    return minimize_spec(spec, cache=cache)
+
+
+def _triage_payload_json(payload: Dict[str, Any]) -> Dict[str, Any]:
+    # The cache flag steers execution, not the outcome (candidate-level
+    # caching never changes results); only the spec addresses the cell.
+    return {"spec": payload["spec"]}
+
+
+def _triage_encode(result) -> Any:
+    return result.to_json_dict()
+
+
+def _triage_decode(value) -> Any:
+    from repro.triage.minimize import MinimizationResult
+
+    return MinimizationResult.from_json_dict(value)
+
+
+register_task(
+    DispatchTask(
+        name="triage-minimize",
+        run=_run_triage_cell,
+        payload_json=_triage_payload_json,
+        encode=_triage_encode,
+        decode=_triage_decode,
     )
 )
 

@@ -7,7 +7,12 @@ an :class:`~repro.scenarios.oracle.InvariantOracle` continuously checks the
 safety and liveness guarantees every run must keep.
 """
 
-from repro.scenarios.oracle import InvariantOracle, InvariantViolation, ProgressSample
+from repro.scenarios.oracle import (
+    InvariantOracle,
+    InvariantViolation,
+    ProgressSample,
+    canonical_violation_kinds,
+)
 from repro.scenarios.runner import (
     ScenarioResult,
     ScenarioRunner,
@@ -22,9 +27,12 @@ from repro.scenarios.spec import (
     SPEC_FORMAT,
     FaultEvent,
     ScenarioSpec,
+    drop_event,
+    replace_event,
     scenario_matrix,
     single_fault_spec,
     smoke_matrix,
+    try_spec,
 )
 
 __all__ = [
@@ -39,10 +47,14 @@ __all__ = [
     "ScenarioResult",
     "ScenarioRunner",
     "ScenarioSpec",
+    "canonical_violation_kinds",
+    "drop_event",
     "format_matrix",
+    "replace_event",
     "run_matrix",
     "run_scenario",
     "scenario_matrix",
     "single_fault_spec",
     "smoke_matrix",
+    "try_spec",
 ]

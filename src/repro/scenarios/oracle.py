@@ -25,7 +25,7 @@ broken invariant at once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,17 @@ class InvariantViolation:
     def from_json_dict(cls, data: Dict[str, object]) -> "InvariantViolation":
         """Rebuild a violation from :meth:`to_json_dict` output."""
         return cls(invariant=data["invariant"], time=data["time"], detail=data["detail"])
+
+
+def canonical_violation_kinds(violations: Iterable[InvariantViolation]) -> Tuple[str, ...]:
+    """The sorted, de-duplicated invariant kinds of a violation list.
+
+    This is the oracle's half of a failure *signature*
+    (:mod:`repro.triage.signature`): timestamps and per-run details (slot
+    numbers, digests, straggler phrasing) vary under minimization, but the
+    set of broken invariants is what identifies a failure mode.
+    """
+    return tuple(sorted({violation.invariant for violation in violations}))
 
 
 @dataclass(frozen=True)
@@ -79,6 +90,7 @@ class InvariantOracle:
         self.check_interval = check_interval
         self.strict_liveness = strict_liveness
         self.violations: List[InvariantViolation] = []
+        self._recorded: Set[Tuple[str, str]] = set()
         self.samples: List[ProgressSample] = []
         self.stragglers: Tuple[int, ...] = ()
         self.checks_run = 0
@@ -119,8 +131,9 @@ class InvariantOracle:
     def _record(self, invariant: str, detail: str) -> None:
         # A persistent violation (e.g. a fork) re-triggers on every tick;
         # record each distinct defect once, not once per check.
-        if any(v.invariant == invariant and v.detail == detail for v in self.violations):
+        if (invariant, detail) in self._recorded:
             return
+        self._recorded.add((invariant, detail))
         self.violations.append(
             InvariantViolation(invariant=invariant, time=self.cluster.simulator.now, detail=detail)
         )
@@ -302,4 +315,9 @@ class InvariantOracle:
         return not self.violations
 
 
-__all__ = ["InvariantOracle", "InvariantViolation", "ProgressSample"]
+__all__ = [
+    "InvariantOracle",
+    "InvariantViolation",
+    "ProgressSample",
+    "canonical_violation_kinds",
+]

@@ -14,7 +14,7 @@ implemented protocol crossed with every fault family at f ∈ {1, 2}.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 #: Schema version stamped into serialized specs; bump on incompatible change.
@@ -204,6 +204,43 @@ class ScenarioSpec:
         return cls(**fields)
 
 
+def try_spec(spec: ScenarioSpec, **changes: Any) -> Optional[ScenarioSpec]:
+    """``dataclasses.replace`` that validates: None instead of a ValueError.
+
+    The triage minimizer proposes many speculative reductions (lower ``f``,
+    shorter ``duration``, ...); most of the invalid ones are predictable but
+    some interact (an event that fits a 0.4 s run starts after a 0.1 s one
+    ends), so the single choke point is: build the candidate through the
+    constructor and treat a validation failure as "no such candidate".
+    """
+    try:
+        return replace(spec, **changes)
+    except ValueError:
+        return None
+
+
+def drop_event(spec: ScenarioSpec, index: int) -> Optional[ScenarioSpec]:
+    """``spec`` without its ``index``-th fault event (None when invalid)."""
+    events = tuple(event for i, event in enumerate(spec.events) if i != index)
+    return try_spec(spec, events=events)
+
+
+def replace_event(spec: ScenarioSpec, index: int, **changes: Any) -> Optional[ScenarioSpec]:
+    """``spec`` with its ``index``-th event mutated (None when invalid).
+
+    Event validation runs too (a narrowed window must still heal after it
+    starts), so a bad mutation reads as "no candidate", never an exception.
+    """
+    try:
+        mutated = replace(spec.events[index], **changes)
+    except ValueError:
+        return None
+    events = tuple(
+        mutated if i == index else event for i, event in enumerate(spec.events)
+    )
+    return try_spec(spec, events=events)
+
+
 def single_fault_spec(
     protocol: str,
     fault: str,
@@ -287,7 +324,10 @@ __all__ = [
     "SPEC_FORMAT",
     "FaultEvent",
     "ScenarioSpec",
+    "drop_event",
+    "replace_event",
     "scenario_matrix",
     "single_fault_spec",
     "smoke_matrix",
+    "try_spec",
 ]

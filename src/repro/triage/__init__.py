@@ -1,0 +1,60 @@
+"""Automated failure triage: minimize, fingerprint, and pin fuzz findings.
+
+The fuzzer (:mod:`repro.dispatch.fuzz`) finds compound-fault bugs as raw
+multi-window scenario specs; this package is the bridge from a raw finding
+to an actionable, regression-proof artifact:
+
+* :mod:`repro.triage.signature` — a :class:`FailureSignature` canonically
+  identifies a failure mode (protocol + violated invariant kinds +
+  post-heal straggler set) independent of timestamps and phrasing;
+* :mod:`repro.triage.minimize` — deterministic delta debugging shrinks a
+  failing spec (drop windows, narrow them, shrink fault sets, lower ``f``,
+  shorten the run) while preserving its signature, fanning candidate runs
+  through the dispatch layer's worker pool and result cache;
+* :mod:`repro.triage.corpus` — minimized findings live as JSON entries in
+  a signature-deduplicated corpus that CI replays, distinguishing
+  ``still-failing`` (open bug, expected) from ``fixed`` (promote to a
+  passing regression) from ``signature-changed`` (hard error).
+"""
+
+from repro.triage.corpus import (
+    CORPUS_FORMAT,
+    Corpus,
+    CorpusEntry,
+    DEFAULT_CORPUS_DIR,
+    EXPECT_FAILING,
+    EXPECT_PASSING,
+    ReplayOutcome,
+    classify,
+    format_corpus,
+    replay_corpus,
+)
+from repro.triage.minimize import (
+    MAX_ATTEMPTS,
+    TIME_RESOLUTION,
+    MinimizationResult,
+    minimize_spec,
+    minimized_name,
+)
+from repro.triage.signature import SIGNATURE_FORMAT, FailureSignature, signature_of
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "Corpus",
+    "CorpusEntry",
+    "DEFAULT_CORPUS_DIR",
+    "EXPECT_FAILING",
+    "EXPECT_PASSING",
+    "FailureSignature",
+    "MAX_ATTEMPTS",
+    "MinimizationResult",
+    "ReplayOutcome",
+    "SIGNATURE_FORMAT",
+    "TIME_RESOLUTION",
+    "classify",
+    "format_corpus",
+    "minimize_spec",
+    "minimized_name",
+    "replay_corpus",
+    "signature_of",
+]

@@ -1,0 +1,93 @@
+"""Canonical failure signatures for scenario runs.
+
+A raw fuzz finding carries timestamps, slot numbers and per-run phrasing
+that change under every mutation of the spec, so "is this the same bug?"
+cannot be asked of the violation list directly.  A
+:class:`FailureSignature` is the stable projection the triage layer
+compares instead: the protocol under test, the sorted set of broken
+invariant *kinds* (via :func:`repro.scenarios.oracle.canonical_violation_kinds`)
+and the sorted set of post-heal straggler replicas.  Two runs with equal
+signatures exhibit the same failure mode; a minimization step is kept only
+when it preserves the signature, and the regression corpus deduplicates
+findings by it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.scenarios.oracle import canonical_violation_kinds
+from repro.scenarios.runner import ScenarioResult
+
+#: Schema version stamped into serialized signatures; bump on change.
+SIGNATURE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class FailureSignature:
+    """The canonical identity of one failure mode.
+
+    ``invariants`` are the sorted distinct invariant kinds that fired
+    (e.g. ``("liveness", "liveness-straggler")``), ``stragglers`` the
+    sorted replica ids that made no post-heal progress.  Timestamps,
+    violation counts and detail strings are deliberately excluded: they
+    vary with window placement while the failure mode does not.
+    """
+
+    protocol: str
+    invariants: Tuple[str, ...]
+    stragglers: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.invariants:
+            raise ValueError("a failure signature needs at least one violated invariant")
+
+    def key(self) -> str:
+        """Short stable content digest — corpus dedup key and table label."""
+        canonical = json.dumps(self.to_json_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+    def label(self) -> str:
+        """Compact human-readable description for tables and log lines."""
+        stragglers = ",".join(map(str, self.stragglers)) or "-"
+        return f"{self.protocol}:{'+'.join(self.invariants)}[{stragglers}]"
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (round-trips exactly)."""
+        return {
+            "format": SIGNATURE_FORMAT,
+            "protocol": self.protocol,
+            "invariants": list(self.invariants),
+            "stragglers": list(self.stragglers),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "FailureSignature":
+        """Rebuild a signature from :meth:`to_json_dict` output (validates)."""
+        version = data.get("format", SIGNATURE_FORMAT)
+        if version != SIGNATURE_FORMAT:
+            raise ValueError(
+                f"unsupported FailureSignature format {version!r} (expected {SIGNATURE_FORMAT})"
+            )
+        return cls(
+            protocol=data["protocol"],
+            invariants=tuple(data["invariants"]),
+            stragglers=tuple(data["stragglers"]),
+        )
+
+
+def signature_of(result: ScenarioResult) -> Optional[FailureSignature]:
+    """The failure signature of a scenario run, or None for a clean run."""
+    if not result.violations:
+        return None
+    return FailureSignature(
+        protocol=result.spec.protocol,
+        invariants=canonical_violation_kinds(result.violations),
+        stragglers=tuple(sorted(result.stragglers)),
+    )
+
+
+__all__ = ["SIGNATURE_FORMAT", "FailureSignature", "signature_of"]

@@ -12,7 +12,7 @@ from repro import cli
 
 def test_parser_knows_all_subcommands():
     parser = cli.build_parser()
-    for command in ("list", "complexity", "figure", "ablation", "cluster", "scenario", "fuzz", "validate"):
+    for command in ("list", "complexity", "figure", "ablation", "cluster", "scenario", "fuzz", "triage", "validate"):
         args = parser.parse_args([command] if command not in ("figure", "ablation") else [command, "x"])
         assert args.command == command
 
@@ -206,6 +206,9 @@ def test_fuzz_archives_failing_specs_for_replay(tmp_path, monkeypatch, capsys):
             "0.2",
             "--archive-dir",
             str(archive_dir),
+            # Raw archive plumbing under test; the auto-minimize path has
+            # its own coverage in tests/test_triage.py.
+            "--no-minimize",
         ]
     )
     err = capsys.readouterr().err

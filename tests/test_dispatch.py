@@ -141,7 +141,7 @@ def test_source_change_invalidates_every_entry(tmp_path):
 
 
 def test_task_registry_knows_the_builtin_kinds():
-    assert {"scenario", "figure", "ablation"} <= set(task_names())
+    assert {"scenario", "figure", "ablation", "triage-minimize"} <= set(task_names())
     with pytest.raises(KeyError):
         get_task("no-such-task")
 
@@ -243,6 +243,13 @@ def test_fuzz_specs_stay_inside_the_threat_model():
                 n = spec.resolved_replicas()
                 assert set(range(n, n + spec.clients)) <= majority
         assert len(misbehaving) <= spec.f
+
+
+def test_fuzz_events_are_sorted_chronologically():
+    # Archived and minimized specs read top-to-bottom as a timeline.
+    for spec in fuzz_matrix(32, seed=7):
+        starts = [event.at for event in spec.events]
+        assert starts == sorted(starts)
 
 
 def test_fuzz_composes_multi_fault_scripts():
