@@ -1,0 +1,318 @@
+"""Simulator performance benchmark (``repro perf``).
+
+The experiment harness lives or dies by simulator throughput: the full
+figure grid replays hundreds of cluster runs, so events-per-second of the
+event engine is the repo's compile time.  This module pins a small suite of
+benchmark cells — happy-path runs of every protocol plus two adversarial
+scenarios — and reports wall time and events/sec for each.
+
+The suite is deliberately tiny and fully deterministic (fixed seeds, fixed
+durations): event *counts* are reproducible bit-for-bit across machines and
+act as a drift tripwire, while *wall time* is compared against the numbers
+committed in ``BENCH_PR6.json`` with a generous tolerance so CI fails only
+on order-of-magnitude regressions, not machine noise.
+
+``BENCH_*.json`` files form the tracked perf trajectory: each optimisation
+PR commits a ``before`` (the suite on the pre-PR tree) and an ``after``
+(post-PR), so the history of simulator throughput is readable from the
+repo alone::
+
+    python -m repro perf                 # run the full suite, print table
+    python -m repro perf --quick        # CI subset (skips the slow cells)
+    python -m repro perf --check BENCH_PR6.json   # regression gate
+    python -m repro perf --profile      # cProfile the heaviest cell
+    python -m repro perf --output out.json        # write measurements
+"""
+
+from __future__ import annotations
+
+import cProfile
+import gc
+import io
+import json
+import pstats
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+
+#: Schema tag written into every measurement blob.
+SCHEMA = "repro-perf/v1"
+
+#: Wall-time regression tolerance of the ``--check`` gate (fraction).
+DEFAULT_TOLERANCE = 0.25
+
+#: Happy-path cell parameters (shared by every protocol cell so the suite
+#: measures the engine, not workload differences).
+HAPPY_REPLICAS = 4
+HAPPY_BATCH = 8
+HAPPY_CLIENTS = 3
+HAPPY_OUTSTANDING = 4
+HAPPY_SEED = 7
+HAPPY_DURATION = 0.4
+
+
+@dataclass(frozen=True)
+class PerfCell:
+    """One pinned benchmark cell: a named, deterministic simulator run."""
+
+    name: str
+    build_and_run: Callable[[], int]
+    #: Cells excluded from ``--quick`` (the CI subset) because they dominate
+    #: suite wall time.
+    quick: bool = True
+
+
+def _happy_cell(protocol: str) -> Callable[[], int]:
+    """A happy-path run of ``protocol``; returns processed event count."""
+
+    def run() -> int:
+        from repro.bench.cluster import SimulatedCluster
+
+        cluster = SimulatedCluster.for_protocol(
+            protocol,
+            num_replicas=HAPPY_REPLICAS,
+            batch_size=HAPPY_BATCH,
+            clients=HAPPY_CLIENTS,
+            outstanding_per_client=HAPPY_OUTSTANDING,
+            seed=HAPPY_SEED,
+            checkpoint_interval=0,
+        )
+        cluster.run(duration=HAPPY_DURATION)
+        return cluster.simulator.processed_events
+
+    return run
+
+
+def _scenario_cell(protocol: str, fault: str, f: int) -> Callable[[], int]:
+    """A chaos-scenario run (fault injector + invariant oracle attached)."""
+
+    def run() -> int:
+        from repro.scenarios.runner import ScenarioRunner
+        from repro.scenarios.spec import single_fault_spec
+
+        spec = single_fault_spec(protocol, fault, f=f, duration=0.4, seed=1)
+        runner = ScenarioRunner(spec)
+        runner.run()
+        return runner.cluster.simulator.processed_events
+
+    return run
+
+
+#: The pinned suite.  Names are stable identifiers: ``--check`` matches
+#: cells across runs (and across the committed BENCH file) by name.
+CELLS: Tuple[PerfCell, ...] = (
+    PerfCell("happy-spotless", _happy_cell("spotless")),
+    PerfCell("happy-pbft", _happy_cell("pbft")),
+    # RCC runs n concurrent PBFT instances, so this is the heaviest cell by
+    # an order of magnitude — excluded from the CI quick subset.
+    PerfCell("happy-rcc", _happy_cell("rcc"), quick=False),
+    PerfCell("happy-hotstuff", _happy_cell("hotstuff")),
+    PerfCell("happy-narwhal-hs", _happy_cell("narwhal-hs")),
+    PerfCell("a2-pbft-f1", _scenario_cell("pbft", "A2", f=1)),
+    # f=2 crash window: seven replicas, repeated view changes while the
+    # crashed primaries are down — the "view-change storm" cell.
+    PerfCell("viewchange-storm-pbft-f2", _scenario_cell("pbft", "crash", f=2)),
+)
+
+#: The cell profiled by ``--profile`` for each suite flavour: the heaviest
+#: member, so the top of the profile is the simulator hot path.
+PROFILE_CELL = {False: "happy-rcc", True: "happy-pbft"}
+
+
+def run_suite(quick: bool = False) -> Dict[str, Any]:
+    """Run the pinned suite and return the measurement blob.
+
+    Each cell builds a fresh cluster, runs it to its pinned horizon and
+    reports ``(events, wall_s, events_per_sec)``.  Build time is excluded
+    from the measurement — the suite times the event loop, not cluster
+    construction.
+    """
+    cells: List[Dict[str, Any]] = []
+    for cell in CELLS:
+        if quick and not cell.quick:
+            continue
+        # Collect the previous cell's garbage outside the timed window, so a
+        # heavy cell's gen-2 pause is not billed to whichever small cell
+        # happens to run next.
+        gc.collect()
+        start = time.perf_counter()
+        events = cell.build_and_run()
+        wall = time.perf_counter() - start
+        cells.append(
+            {
+                "name": cell.name,
+                "events": events,
+                "wall_s": round(wall, 4),
+                "events_per_sec": int(events / wall) if wall > 0 else 0,
+            }
+        )
+    total_wall = sum(item["wall_s"] for item in cells)
+    total_events = sum(item["events"] for item in cells)
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "cells": cells,
+        "total_wall_s": round(total_wall, 4),
+        "total_events": total_events,
+        "aggregate_events_per_sec": int(total_events / total_wall) if total_wall > 0 else 0,
+    }
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Aligned table plus the aggregate line for one measurement blob."""
+    rows = [
+        {
+            "cell": item["name"],
+            "events": item["events"],
+            "wall_s": f"{item['wall_s']:.4f}",
+            "events_per_sec": item["events_per_sec"],
+        }
+        for item in report["cells"]
+    ]
+    table = format_table(rows, ["cell", "events", "wall_s", "events_per_sec"])
+    return (
+        f"{table}\n"
+        f"total: {report['total_events']} events in {report['total_wall_s']:.4f}s "
+        f"({report['aggregate_events_per_sec']} events/sec aggregate)"
+    )
+
+
+def _reference_suite(committed: Dict[str, Any]) -> Dict[str, Any]:
+    """The suite to gate against inside a committed BENCH file.
+
+    Accepts either a full trajectory entry (``{"before": ..., "after":
+    ...}``) — the gate compares against ``after``, the tree the numbers
+    were committed with — or a bare measurement blob.
+    """
+    if "after" in committed and isinstance(committed["after"], dict):
+        return committed["after"]
+    return committed
+
+
+def check_report(
+    report: Dict[str, Any],
+    committed: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Compare ``report`` to a committed reference; return failure messages.
+
+    Two gates, both over the cells present in *both* suites (so ``--quick``
+    runs check only the quick subset):
+
+    * **determinism** — processed event counts must match exactly; a drift
+      means simulator behaviour changed, which golden-digest tests should
+      have caught first;
+    * **wall time** — the summed wall time may not exceed the committed sum
+      by more than ``tolerance`` (default 25%).
+    """
+    reference = _reference_suite(committed)
+    ref_cells = {item["name"]: item for item in reference.get("cells", [])}
+    failures: List[str] = []
+    common_wall = 0.0
+    common_ref_wall = 0.0
+    matched = 0
+    for item in report["cells"]:
+        ref = ref_cells.get(item["name"])
+        if ref is None:
+            continue
+        matched += 1
+        common_wall += item["wall_s"]
+        common_ref_wall += ref["wall_s"]
+        if item["events"] != ref["events"]:
+            failures.append(
+                f"cell {item['name']!r}: processed {item['events']} events, "
+                f"reference pinned {ref['events']} (determinism drift)"
+            )
+    if matched == 0:
+        failures.append("no cells in common with the reference suite")
+        return failures
+    limit = common_ref_wall * (1.0 + tolerance)
+    if common_wall > limit:
+        failures.append(
+            f"wall time {common_wall:.4f}s exceeds reference {common_ref_wall:.4f}s "
+            f"by more than {tolerance:.0%} (limit {limit:.4f}s) over {matched} cells"
+        )
+    return failures
+
+
+def profile_cell(name: str, top: int = 20) -> str:
+    """cProfile one cell and return the top-``top`` cumulative-time table."""
+    for cell in CELLS:
+        if cell.name == name:
+            break
+    else:
+        known = ", ".join(c.name for c in CELLS)
+        raise ValueError(f"unknown perf cell {name!r}; choose one of: {known}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    cell.build_and_run()
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
+
+
+def load_reference(path: str) -> Dict[str, Any]:
+    """Load a committed BENCH_*.json measurement file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError("BENCH file must hold a JSON object")
+    return data
+
+
+def main(
+    quick: bool = False,
+    profile: bool = False,
+    profile_top: int = 20,
+    output: Optional[str] = None,
+    check: Optional[str] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> int:
+    """Entry point behind ``repro perf``; returns a process exit code."""
+    label = "quick subset" if quick else "full suite"
+    print(f"perf: running the pinned {label} ({sum(1 for c in CELLS if c.quick or not quick)} cells)")
+    report = run_suite(quick=quick)
+    print(format_report(report))
+    exit_code = 0
+    if check is not None:
+        try:
+            committed = load_reference(check)
+        except (OSError, ValueError) as error:
+            print(f"cannot load reference {check!r}: {error}")
+            return 2
+        failures = check_report(report, committed, tolerance=tolerance)
+        if failures:
+            print(f"\nperf check against {check} FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            exit_code = 1
+        else:
+            print(f"\nperf check against {check}: ok (tolerance {tolerance:.0%})")
+    if output is not None:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {output}")
+    if profile:
+        target = PROFILE_CELL[quick]
+        print(f"\nprofile of {target!r} (top {profile_top} by cumulative time):")
+        print(profile_cell(target, top=profile_top))
+    return exit_code
+
+
+__all__ = [
+    "CELLS",
+    "DEFAULT_TOLERANCE",
+    "PerfCell",
+    "SCHEMA",
+    "check_report",
+    "format_report",
+    "load_reference",
+    "main",
+    "profile_cell",
+    "run_suite",
+]

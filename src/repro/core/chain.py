@@ -95,6 +95,15 @@ class ProposalStore:
         self._by_view: Dict[int, List[bytes]] = {GENESIS_VIEW: [GENESIS_PROPOSAL_ID]}
         self._lock_digest: bytes = GENESIS_PROPOSAL_ID
         self._committed_order: List[bytes] = []
+        # Bumped whenever a proposal (or a payload/parent link on an existing
+        # proposal) is recorded, so callers can cache derived state — e.g. the
+        # node's execution frontier — and re-validate in O(1).
+        self.version = 0
+        # Index of non-genesis proposals that reached CONDITIONALLY_PREPARED,
+        # keyed by view: the CP set query walks views from the lock upward
+        # instead of scanning the full (never GC'd) proposal history.
+        self._prepared_by_view: Dict[int, List[bytes]] = {}
+        self._max_prepared_view = GENESIS_VIEW
 
     # -- basic access ----------------------------------------------------
 
@@ -138,6 +147,7 @@ class ProposalStore:
                 existing.message = message
                 existing.parent_digest = message.parent_digest
                 existing.parent_view = message.parent_view
+                self.version += 1
             return existing
         proposal = Proposal(
             digest=digest,
@@ -149,6 +159,7 @@ class ProposalStore:
         )
         self._proposals[digest] = proposal
         self._by_view.setdefault(message.view, []).append(digest)
+        self.version += 1
         return proposal
 
     def record_reference(self, digest: bytes, view: int) -> Proposal:
@@ -166,6 +177,7 @@ class ProposalStore:
         )
         self._proposals[digest] = proposal
         self._by_view.setdefault(view, []).append(digest)
+        self.version += 1
         return proposal
 
     # -- relations of Definition 3.3 ---------------------------------------
@@ -232,8 +244,20 @@ class ProposalStore:
     def _promote(self, proposal: Proposal, status: ProposalStatus) -> bool:
         if proposal.status >= status:
             return False
+        if (
+            proposal.status < ProposalStatus.CONDITIONALLY_PREPARED
+            and status >= ProposalStatus.CONDITIONALLY_PREPARED
+        ):
+            self._note_prepared(proposal)
         proposal.status = status
         return True
+
+    def _note_prepared(self, proposal: Proposal) -> None:
+        """Index a proposal crossing into CONDITIONALLY_PREPARED (once; the
+        status lattice is monotone, so the crossing happens at most once)."""
+        self._prepared_by_view.setdefault(proposal.view, []).append(proposal.digest)
+        if proposal.view > self._max_prepared_view:
+            self._max_prepared_view = proposal.view
 
     def mark_conditionally_prepared(self, proposal: Proposal) -> List[Proposal]:
         """Mark ``proposal`` conditionally prepared and cascade the consequences.
@@ -325,6 +349,8 @@ class ProposalStore:
             if node.is_genesis:
                 continue
             if node.status < ProposalStatus.COMMITTED:
+                if node.status < ProposalStatus.CONDITIONALLY_PREPARED:
+                    self._note_prepared(node)
                 node.status = ProposalStatus.COMMITTED
                 self._committed_order.append(node.digest)
                 newly.append(node)
@@ -381,12 +407,11 @@ class ProposalStore:
         view at or above the lock's view.
         """
         lock_view = self.lock.view
+        prepared_by_view = self._prepared_by_view
         entries = [
-            CpEntry(view=proposal.view, digest=proposal.digest)
-            for proposal in self._proposals.values()
-            if proposal.status >= ProposalStatus.CONDITIONALLY_PREPARED
-            and proposal.view >= lock_view
-            and not proposal.is_genesis
+            CpEntry(view=view, digest=digest)
+            for view in range(max(lock_view, 0), self._max_prepared_view + 1)
+            for digest in prepared_by_view.get(view, ())
         ]
         if not entries and not self.lock.is_genesis:
             entries.append(CpEntry(view=self.lock.view, digest=self.lock.digest))

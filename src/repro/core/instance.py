@@ -146,6 +146,9 @@ class SpotLessInstance:
         self._synced_views: Set[int] = set()
         # Highest view observed per sender (for the f+1 view-skip rule).
         self._highest_view_seen: Dict[int, int] = {}
+        # Max over _highest_view_seen.values(); lets _maybe_skip_views bail
+        # in O(1) when nobody is ahead of us.
+        self._max_view_seen = -1
         # Views this replica asked to have retransmitted (to avoid duplicate asks).
         self._asked_proposals: Set[bytes] = set()
         # (view, requester) pairs already served by _retransmit_own_sync, so a
@@ -503,6 +506,8 @@ class SpotLessInstance:
                 received_at=self.env.now(),
             )
             self._highest_view_seen[sender] = max(self._highest_view_seen.get(sender, -1), view)
+            if view > self._max_view_seen:
+                self._max_view_seen = view
 
         # Claim vote bookkeeping (only the sender's first Sync per view counts).
         if is_new and not message.claim.is_failure:
@@ -655,6 +660,8 @@ class SpotLessInstance:
         advance views through their own quorum progress and timer expiry, as
         a Global-Synchronization-Time pacemaker would.
         """
+        if self._max_view_seen <= self.current_view:
+            return
         if self.config.view_sync_mode == "gst":
             return
         higher_views = sorted(

@@ -110,6 +110,12 @@ class SpotLessReplica(ReplicaRuntime):
         # records were ingested — so execution below the floor needs no
         # per-instance contiguity proof and records below it may be GC'd.
         self._execution_floor_view = 0
+        # Frontier memo per instance: (frontier, record_count, floor,
+        # store_version).  The walk in _instance_execution_frontier depends
+        # only on the instance's committed records, the execution floor, and
+        # the proposal store's content — all captured by this key, so a hit
+        # returns the cached frontier without re-walking the history.
+        self._frontier_cache: Dict[int, Tuple[int, int, int, int]] = {}
         # SpotLess orders by (view, instance) itself; the per-view fold into
         # the checkpoint manager happens in _advance_execution, not in the
         # shared pipeline's per-position path.
@@ -273,6 +279,9 @@ class SpotLessReplica(ReplicaRuntime):
             has_payload=proposal.message is not None,
         )
         self._committed_by_view[instance_id][proposal.view] = record
+        # A re-commit can replace a record without changing the record count,
+        # which the cache key would not see — drop the entry outright.
+        self._frontier_cache.pop(instance_id, None)
         self._max_committed_view[instance_id] = max(self._max_committed_view[instance_id], proposal.view)
         self.commit_log.append(record)
         self._advance_execution()
@@ -296,7 +305,20 @@ class SpotLessReplica(ReplicaRuntime):
         records = self._committed_by_view[instance_id]
         store = self.instances[instance_id].store
         floor = self._execution_floor_view
+        cached = self._frontier_cache.get(instance_id)
+        # The store version guards only walks that actually depended on the
+        # store (broke on a parent link the store could not resolve yet);
+        # a walk whose every parent was known caches with -1 and stays valid
+        # however many messages the store records afterwards.
+        if (
+            cached is not None
+            and cached[1] == len(records)
+            and cached[2] == floor
+            and (cached[3] == -1 or cached[3] == store.version)
+        ):
+            return cached[0]
         frontier = floor - 1
+        store_dependent = False
         for view in sorted(records):
             if view < floor:
                 continue
@@ -308,11 +330,21 @@ class SpotLessReplica(ReplicaRuntime):
                 proposal = store.get(record.proposal_digest)
                 if proposal is not None:
                     parent_view = proposal.parent_view
+                if parent_view is None:
+                    # Unresolved: the result changes as soon as the store
+                    # learns this proposal, so the cache must track it.
+                    store_dependent = True
             if parent_view is None or parent_view > frontier:
                 break
             if parent_view >= floor and parent_view not in records:
                 break
             frontier = view
+        self._frontier_cache[instance_id] = (
+            frontier,
+            len(records),
+            floor,
+            store.version if store_dependent else -1,
+        )
         return frontier
 
     def _advance_execution(self) -> None:
@@ -446,6 +478,7 @@ class SpotLessReplica(ReplicaRuntime):
                         transaction_digests=record.transaction_digests,
                         has_payload=True,
                     )
+                    self._frontier_cache.pop(record.instance, None)
         self._execution_floor_view = max(self._execution_floor_view, certificate.position)
         self._advance_execution()
 

@@ -12,8 +12,21 @@ uniformly to model slower or faster machines.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 
 from repro.sim.cpu import CpuTask
+
+
+@lru_cache(maxsize=4096)
+def _interned_task(name: str, seconds: float) -> CpuTask:
+    """Return a shared :class:`CpuTask` for a (name, seconds) pair.
+
+    Protocol handlers charge the same fixed costs (one MAC verify, one
+    message handled, a standard-size batch hashed) millions of times per
+    run; interning avoids allocating a frozen dataclass per operation.
+    ``CpuTask`` is immutable, so sharing instances is safe.
+    """
+    return CpuTask(name=name, seconds=seconds)
 
 
 @dataclass(frozen=True)
@@ -57,27 +70,27 @@ class CryptoCostModel:
 
     def mac_generate_task(self, count: int = 1) -> CpuTask:
         """CPU task for generating ``count`` MACs."""
-        return CpuTask(name="mac_generate", seconds=self.mac_generate * count)
+        return _interned_task("mac_generate", self.mac_generate * count)
 
     def mac_verify_task(self, count: int = 1) -> CpuTask:
         """CPU task for verifying ``count`` MACs."""
-        return CpuTask(name="mac_verify", seconds=self.mac_verify * count)
+        return _interned_task("mac_verify", self.mac_verify * count)
 
     def sign_task(self, count: int = 1) -> CpuTask:
         """CPU task for producing ``count`` digital signatures."""
-        return CpuTask(name="signature_sign", seconds=self.signature_sign * count)
+        return _interned_task("signature_sign", self.signature_sign * count)
 
     def verify_task(self, count: int = 1) -> CpuTask:
         """CPU task for verifying ``count`` digital signatures."""
-        return CpuTask(name="signature_verify", seconds=self.signature_verify * count)
+        return _interned_task("signature_verify", self.signature_verify * count)
 
     def hash_task(self, num_bytes: int) -> CpuTask:
-        """CPU task for hashing ``num_bytes`` bytes."""
-        return CpuTask(name="hash", seconds=self.hash_per_byte * num_bytes)
+        """CPU task for hashing ``num_bytes`` bytes (memoized per size)."""
+        return _interned_task("hash", self.hash_per_byte * num_bytes)
 
     def handling_task(self, count: int = 1) -> CpuTask:
         """CPU task for generic handling of ``count`` messages."""
-        return CpuTask(name="message_handling", seconds=self.message_handling * count)
+        return _interned_task("message_handling", self.message_handling * count)
 
 
 __all__ = ["CryptoCostModel"]

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.crypto.digest import digest_bytes
+from repro.crypto.digest import canonical_bytes, digest_bytes
 
 
 @dataclass(frozen=True)
@@ -26,6 +27,18 @@ class BlockProof:
     def canonical_fields(self) -> tuple:
         """Canonical encoding used when hashing the block."""
         return (self.protocol, self.view, self.instance, self.quorum)
+
+    def encoded(self) -> bytes:
+        """Memoized canonical byte encoding (the proof is immutable).
+
+        Execution pipelines intern proofs per (view, instance), so a run
+        encodes each distinct proof once instead of once per block.
+        """
+        cached = self.__dict__.get("_encoded")
+        if cached is None:
+            cached = canonical_bytes(self.canonical_fields())
+            object.__setattr__(self, "_encoded", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -48,8 +61,26 @@ class Block:
         return (self.height, self.parent_digest, self.transactions, proof_fields)
 
     def digest(self) -> bytes:
-        """Digest identifying this block."""
-        return digest_bytes(self.canonical_fields())
+        """Digest identifying this block (memoized; the block is immutable).
+
+        The encoding is assembled inline — byte-identical to
+        ``digest_bytes(self.canonical_fields())``, which the ledger tests
+        assert — so the proof sub-encoding can come from the per-proof memo
+        instead of being rebuilt for every block.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            transactions = self.transactions
+            body = (
+                b"t4:i%d" % self.height
+                + b"b" + self.parent_digest
+                + b"t%d:" % len(transactions)
+                + b"".join([b"b" + item for item in transactions])
+                + (self.proof.encoded() if self.proof is not None else b"n")
+            )
+            cached = hashlib.sha256(body).digest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     @property
     def transaction_count(self) -> int:

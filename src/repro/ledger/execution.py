@@ -10,6 +10,7 @@ throughput exactly as in Figure 7(a).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterable, List, Optional, Tuple
 
 from repro.ledger.block import BlockProof
@@ -93,12 +94,17 @@ class ExecutionEngine:
         return self.table.state_digest()
 
 
+@lru_cache(maxsize=65536)
 def make_noop_transaction(instance: int, view: int) -> Transaction:
     """Build the no-op transaction a primary proposes when it has no requests.
 
     Section 5: a primary with no pending client transactions proposes a no-op
     so that execution of the other instances' proposals in the same view is
     not blocked.
+
+    The transaction is fully determined by ``(instance, view)`` and frozen,
+    so interning it shares one object (and one memoized digest) across every
+    replica that proposes, resolves or re-executes the same no-op.
     """
     return Transaction(client_id=-1, sequence=view, operations=(Operation.noop(instance),))
 

@@ -56,9 +56,33 @@ class SlotState:
     batch_digest: Optional[bytes] = None
     prepares: Dict[int, bytes] = field(default_factory=dict)
     commits: Dict[int, bytes] = field(default_factory=dict)
+    # Per-digest tallies of the vote maps above, maintained on every vote
+    # (re-)registration so quorum checks are keyed lookups, not scans.
+    prepare_counts: Dict[bytes, int] = field(default_factory=dict)
+    commit_counts: Dict[bytes, int] = field(default_factory=dict)
     prepared: bool = False
     committed: bool = False
     commit_sent: bool = False
+
+    def record_prepare(self, sender: int, digest: bytes) -> None:
+        """Register (or re-register) a Prepare vote, keeping tallies exact."""
+        previous = self.prepares.get(sender)
+        if previous == digest:
+            return
+        if previous is not None:
+            self.prepare_counts[previous] -= 1
+        self.prepares[sender] = digest
+        self.prepare_counts[digest] = self.prepare_counts.get(digest, 0) + 1
+
+    def record_commit(self, sender: int, digest: bytes) -> None:
+        """Register (or re-register) a Commit vote, keeping tallies exact."""
+        previous = self.commits.get(sender)
+        if previous == digest:
+            return
+        if previous is not None:
+            self.commit_counts[previous] -= 1
+        self.commits[sender] = digest
+        self.commit_counts[digest] = self.commit_counts.get(digest, 0) + 1
 
 
 class PbftInstanceCore:
@@ -79,6 +103,10 @@ class PbftInstanceCore:
         self.last_decided_sequence = -1
         self.decided_frontier = -1  # highest sequence with a contiguous decided prefix
         self.slots: Dict[int, SlotState] = {}
+        # Sequences whose slot holds content but is not yet committed,
+        # maintained incrementally at every digests/committed transition so
+        # the pipeline-window check is O(1) instead of a full slot scan.
+        self._inflight: Set[int] = set()
         self.active = True
         self.started = False
 
@@ -102,6 +130,20 @@ class PbftInstanceCore:
         self.decided_batches = 0
         self.preprepares_sent = 0
         self.views_adopted = 0
+
+        # Quorum threshold as a plain int: the per-vote checks compare
+        # against it on every Prepare/Commit, and the property chain through
+        # the config costs more than the comparison itself.
+        self._quorum = config.quorum
+        # Exact-class handler table: message types are final dataclasses, so
+        # one dict probe replaces the isinstance chain on the hot path.
+        self._dispatch_table = {
+            PrePrepareMessage: self.on_preprepare,
+            PrepareMessage: self.on_prepare,
+            CommitMessage: self.on_commit,
+            ViewChangeMessage: self.on_view_change,
+            NewViewMessage: self.on_new_view,
+        }
 
     # ------------------------------------------------------------------
 
@@ -136,7 +178,7 @@ class PbftInstanceCore:
 
     def outstanding_slots(self) -> int:
         """Slots proposed but not yet decided."""
-        return sum(1 for slot in self.slots.values() if not slot.committed and slot.digests is not None)
+        return len(self._inflight)
 
     def try_propose(self) -> None:
         """Propose new slots while the pipeline window has room (out-of-order)."""
@@ -165,6 +207,9 @@ class PbftInstanceCore:
         # A committed slot is immutable: a later-view message for it must not
         # wipe the decided state (it could then be re-decided differently).
         if slot is None or (slot.view < view and not slot.committed):
+            if slot is not None and slot.digests is not None:
+                # The rebuilt slot starts with no content.
+                self._inflight.discard(sequence)
             slot = SlotState(sequence=sequence, view=view)
             self.slots[sequence] = slot
         return slot
@@ -177,7 +222,7 @@ class PbftInstanceCore:
         permanent holes in the slot space, so they are replayed once the
         view advances.
         """
-        view = getattr(message, "view", self.view)
+        view = message.view  # normal-case messages all carry a view
         if view <= self.view:
             return False
         self._future_messages.append((sender, message))
@@ -224,16 +269,20 @@ class PbftInstanceCore:
         """Handle the primary's proposal for a slot."""
         if not self.active or message.instance != self.instance_id:
             return
-        if self._buffer_future(sender, message):
+        if message.view > self.view:
+            self._buffer_future(sender, message)
             return
         if message.view != self.view or sender != self.primary_of(message.view):
             return
         slot = self._slot(message.sequence, message.view)
-        if slot.digests is not None and slot.batch_digest != message.batch_digest():
+        batch_digest = message.batch_digest()
+        if slot.digests is not None and slot.batch_digest != batch_digest:
             # Equivocating primary: ignore the second proposal for the slot.
             return
+        if slot.digests is None and not slot.committed:
+            self._inflight.add(slot.sequence)
         slot.digests = message.transaction_digests
-        slot.batch_digest = message.batch_digest()
+        slot.batch_digest = batch_digest
         self._cancel_progress_timer()
         prepare = PrepareMessage(
             instance=self.instance_id,
@@ -248,24 +297,28 @@ class PbftInstanceCore:
         """Handle a Prepare vote."""
         if not self.active or message.instance != self.instance_id:
             return
-        if self._buffer_future(sender, message):
+        if message.view > self.view:
+            self._buffer_future(sender, message)
             return
         if message.view != self.view:
             return
         slot = self._slot(message.sequence, message.view)
-        slot.prepares[sender] = message.batch_digest
-        self._check_prepared(slot)
+        slot.record_prepare(sender, message.batch_digest)
+        # Straggler votes on an already-prepared slot are the common case at
+        # n > quorum; the guard here skips a call _check_prepared would
+        # no-op anyway.
+        if not slot.prepared and slot.digests is not None:
+            self._check_prepared(slot)
 
     def _check_prepared(self, slot: SlotState) -> None:
         if slot.prepared or slot.digests is None:
             return
         # The PrePrepare counts as the primary's Prepare; only votes for this
         # slot's digest count toward the quorum.
-        votes = {
-            sender for sender, digest in slot.prepares.items() if digest == slot.batch_digest
-        }
-        votes.add(self.primary_of(slot.view))
-        if len(votes) < self.quorum:
+        votes = slot.prepare_counts.get(slot.batch_digest, 0)
+        if slot.prepares.get(self.primary_of(slot.view)) != slot.batch_digest:
+            votes += 1
+        if votes < self._quorum:
             return
         slot.prepared = True
         commit = CommitMessage(
@@ -281,19 +334,21 @@ class PbftInstanceCore:
         """Handle a Commit vote; decide the slot at 2f + 1 votes."""
         if not self.active or message.instance != self.instance_id:
             return
-        if self._buffer_future(sender, message):
+        if message.view > self.view:
+            self._buffer_future(sender, message)
             return
         slot = self._slot(message.sequence, message.view)
-        slot.commits[sender] = message.batch_digest
-        self._check_committed(slot)
+        slot.record_commit(sender, message.batch_digest)
+        if not slot.committed and slot.prepared and slot.digests is not None:
+            self._check_committed(slot)
 
     def _check_committed(self, slot: SlotState) -> None:
         if slot.committed or not slot.prepared or slot.digests is None:
             return
-        matching = sum(1 for digest in slot.commits.values() if digest == slot.batch_digest)
-        if matching < self.quorum:
+        if slot.commit_counts.get(slot.batch_digest, 0) < self._quorum:
             return
         slot.committed = True
+        self._inflight.discard(slot.sequence)
         self.decided_batches += 1
         self.last_decided_sequence = max(self.last_decided_sequence, slot.sequence)
         while True:
@@ -431,6 +486,7 @@ class PbftInstanceCore:
         self.next_sequence = max(self.next_sequence, floor_sequence)
         for sequence in [s for s in self.slots if s < floor_sequence]:
             del self.slots[sequence]
+            self._inflight.discard(sequence)
 
     def on_view_change(self, sender: int, message: ViewChangeMessage) -> None:
         """Collect ViewChange votes; the new primary announces NewView at 2f + 1."""
@@ -547,6 +603,8 @@ class PbftInstanceCore:
                 continue
             # _slot() returned a freshly rebuilt SlotState for this view (only
             # committed slots survive a view bump), so votes start empty.
+            if slot.digests is None:
+                self._inflight.add(slot.sequence)
             slot.digests = digests
             slot.batch_digest = b"".join(digests)
             prepare = PrepareMessage(
@@ -569,16 +627,9 @@ class PbftInstanceCore:
 
     def on_message(self, sender: int, message: object) -> None:
         """Dispatch any PBFT message to the right handler."""
-        if isinstance(message, PrePrepareMessage):
-            self.on_preprepare(sender, message)
-        elif isinstance(message, PrepareMessage):
-            self.on_prepare(sender, message)
-        elif isinstance(message, CommitMessage):
-            self.on_commit(sender, message)
-        elif isinstance(message, ViewChangeMessage):
-            self.on_view_change(sender, message)
-        elif isinstance(message, NewViewMessage):
-            self.on_new_view(sender, message)
+        handler = self._dispatch_table.get(message.__class__)
+        if handler is not None:
+            handler(sender, message)
 
 
 __all__ = ["NOOP_BATCH", "PbftEnvironment", "PbftInstanceCore", "SlotState"]

@@ -69,7 +69,7 @@ class RccReplica(BftReplicaBase):
                 config=config,
                 environment=PbftEnvironment(
                     replica_id=node_id,
-                    broadcast=lambda message, _i=instance_id: self._broadcast_core(message),
+                    broadcast=self._broadcast_core,
                     send=lambda receiver, message: self.send(receiver, message, self._size_of(message)),
                     set_timer=lambda name, delay, callback: self.simulator.schedule(delay, callback, label=name),
                     cancel_timer=lambda handle: handle.cancel(),
@@ -115,9 +115,10 @@ class RccReplica(BftReplicaBase):
     # ------------------------------------------------------------------
 
     def _size_of(self, message: Message) -> int:
-        if isinstance(message, PrePrepareMessage):
+        cls = message.__class__
+        if cls is PrePrepareMessage:
             return self.size_model.proposal_bytes()
-        if isinstance(message, (ViewChangeMessage, NewViewMessage)):
+        if cls is ViewChangeMessage or cls is NewViewMessage:
             return self.size_model.control_bytes(signatures=self.config.quorum)
         return self.size_model.control_bytes()
 
@@ -131,10 +132,11 @@ class RccReplica(BftReplicaBase):
 
     def on_protocol_message(self, sender: int, payload: object) -> None:
         """Route consensus messages by instance; handle complaints."""
-        if isinstance(payload, ComplaintMessage):
+        cls = payload.__class__
+        if cls is ComplaintMessage:
             self._on_complaint(sender, payload)
             return
-        if isinstance(payload, ViewChangeMessage):
+        if cls is ViewChangeMessage:
             # A vote's stable checkpoint is an immediate gap signal for a
             # healed replica.
             self.adopt_checkpoint_gap_signal(payload.checkpoint)

@@ -67,6 +67,11 @@ class ExecutionPipeline:
         self.engine = engine
         self.protocol_name = protocol_name
         self.quorum = quorum
+        self._proof_quorum = tuple(f"replica:{r}" for r in range(quorum))
+        # Proofs are fully determined by (view, instance) for one pipeline;
+        # interning them shares one object (and one memoized encoding)
+        # across every block committed under the same view.
+        self._proof_cache: Dict[Tuple[int, int], BlockProof] = {}
         self._inform = inform
         self._resolve_noop = resolve_noop
         self.on_executed: Optional[OnExecuted] = None
@@ -152,12 +157,15 @@ class ExecutionPipeline:
             return []
         for transaction in fresh:
             self.mempool.mark_executed(transaction.digest())
-        proof = BlockProof(
-            protocol=self.protocol_name,
-            view=view,
-            instance=instance,
-            quorum=tuple(f"replica:{r}" for r in range(self.quorum)),
-        )
+        proof = self._proof_cache.get((view, instance))
+        if proof is None:
+            proof = BlockProof(
+                protocol=self.protocol_name,
+                view=view,
+                instance=instance,
+                quorum=self._proof_quorum,
+            )
+            self._proof_cache[(view, instance)] = proof
         self.engine.execute_batch(fresh, proof=proof)
         for transaction in fresh:
             if transaction.is_noop():

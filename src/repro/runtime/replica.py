@@ -92,6 +92,12 @@ class ReplicaRuntime(Actor):
             client_node_offset if client_node_offset is not None else config.num_replicas
         )
 
+        # The fan-out peer set is fixed by the config; broadcast_protocol
+        # reuses this tuple instead of rebuilding a list per broadcast.
+        self._broadcast_peers = tuple(
+            r for r in config.replica_ids() if r != node_id
+        )
+
         self.table = KeyValueTable()
         self.ledger = Ledger()
         self.execution = ExecutionEngine(table=self.table, ledger=self.ledger)
@@ -134,6 +140,15 @@ class ReplicaRuntime(Actor):
         # folding on the execution hot path.
         if self.checkpoints.enabled:
             self.pipeline.on_executed = self._on_position_executed
+
+        # Exact-class routing table for recovery-layer messages (the types
+        # are final dataclasses); consensus payloads miss this dict once and
+        # go straight to the protocol handler.
+        self._recovery_dispatch: Dict[type, Callable[[int, object], None]] = {
+            CheckpointVote: self._on_checkpoint_vote,
+            StateRequest: self._serve_state_request,
+            StateResponse: self._on_state_response,
+        }
 
     # ------------------------------------------------------------------
     # request handling
@@ -186,11 +201,19 @@ class ReplicaRuntime(Actor):
         """Hook: start the protocol (arm timers, propose if primary)."""
 
     def on_message(self, sender: int, payload: object) -> None:
-        """Route deliveries: transactions go to the pool, the rest to the protocol."""
-        if isinstance(payload, Transaction):
+        """Route deliveries: transactions go to the pool, the rest to the protocol.
+
+        Routing is by exact class (payload types are final dataclasses), so
+        the common consensus-message case pays one dict probe instead of an
+        isinstance chain.
+        """
+        cls = payload.__class__
+        if cls is Transaction:
             self.submit_transaction(payload)
             return
-        if self._handle_recovery_message(sender, payload):
+        handler = self._recovery_dispatch.get(cls)
+        if handler is not None:
+            handler(sender, payload)
             return
         self.on_protocol_message(sender, payload)
 
@@ -204,7 +227,7 @@ class ReplicaRuntime(Actor):
 
     def broadcast_protocol(self, message: Message, size_bytes: int, include_self: bool = True) -> None:
         """Broadcast a consensus message to the other replicas (and locally)."""
-        self.broadcast(self.other_replicas(), message, size_bytes)
+        self.broadcast(self._broadcast_peers, message, size_bytes)
         if include_self:
             self.on_protocol_message(self.node_id, message)
 

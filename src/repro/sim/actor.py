@@ -16,6 +16,8 @@ from repro.sim.network import Network
 class Timer:
     """A cancellable, restartable timer owned by an actor."""
 
+    __slots__ = ("_simulator", "name", "_callback", "_event", "started_at", "interval", "_label")
+
     def __init__(self, simulator: Simulator, name: str, callback: Callable[[], None]) -> None:
         self._simulator = simulator
         self.name = name
@@ -23,6 +25,7 @@ class Timer:
         self._event: Optional[Event] = None
         self.started_at: Optional[float] = None
         self.interval: Optional[float] = None
+        self._label = f"timer:{name}"
 
     @property
     def running(self) -> bool:
@@ -34,7 +37,7 @@ class Timer:
         self.cancel()
         self.started_at = self._simulator.now
         self.interval = interval
-        self._event = self._simulator.schedule(interval, self._fire, label=f"timer:{self.name}")
+        self._event = self._simulator.schedule(interval, self._fire, label=self._label)
 
     def cancel(self) -> None:
         """Disarm the timer if it is running."""
@@ -61,6 +64,16 @@ class Actor:
     from :mod:`repro.faults`.
     """
 
+    __slots__ = (
+        "node_id",
+        "simulator",
+        "network",
+        "_timers",
+        "inbound_messages",
+        "outbound_messages",
+        "_default_label",
+    )
+
     def __init__(self, node_id: int, simulator: Simulator, network: Network) -> None:
         self.node_id = node_id
         self.simulator = simulator
@@ -68,12 +81,18 @@ class Actor:
         self._timers: Dict[str, Timer] = {}
         self.inbound_messages = 0
         self.outbound_messages = 0
+        self._default_label = f"actor:{node_id}"
         network.register(self)
 
     # -- messaging -------------------------------------------------------
 
     def deliver(self, sender: int, payload: object) -> None:
-        """Entry point used by the network when a message arrives."""
+        """Entry point for an arriving message.
+
+        ``Network._deliver`` inlines this body on its fast path, so an
+        override here would not see network deliveries — route behaviour
+        changes through :meth:`on_message` instead.
+        """
         self.inbound_messages += 1
         self.on_message(sender, payload)
 
@@ -88,7 +107,8 @@ class Actor:
 
     def broadcast(self, receivers: Iterable[int], payload: object, size_bytes: int) -> int:
         """Send ``payload`` to every receiver in ``receivers``."""
-        receivers = list(receivers)
+        if receivers.__class__ is not tuple and receivers.__class__ is not list:
+            receivers = list(receivers)
         self.outbound_messages += len(receivers)
         return self.network.broadcast(self.node_id, receivers, payload, size_bytes)
 
@@ -115,7 +135,7 @@ class Actor:
 
     def call_later(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule a local callback ``delay`` seconds from now."""
-        return self.simulator.schedule(delay, callback, label=label or f"actor:{self.node_id}")
+        return self.simulator.schedule(delay, callback, label=label or self._default_label)
 
     @property
     def now(self) -> float:

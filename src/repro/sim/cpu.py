@@ -52,14 +52,19 @@ class CpuModel:
         """
         duration = max(0.0, task.seconds / self.speed_factor)
         now = self.simulator.now
-        core_index = min(range(self.cores), key=lambda idx: self._core_free_at[idx])
-        start = max(now, self._core_free_at[core_index])
+        free = self._core_free_at
+        core_index = free.index(min(free))
+        start = max(now, free[core_index])
         finish = start + duration
-        self._core_free_at[core_index] = finish
+        free[core_index] = finish
         self.busy_seconds += duration
         self.tasks_executed += 1
         if callback is not None:
-            self.simulator.schedule(finish - now, callback, label=f"cpu:{task.name}")
+            simulator = self.simulator
+            if simulator.tracing:
+                simulator.schedule(finish - now, callback, label=f"cpu:{task.name}")
+            else:
+                simulator.schedule_call(finish - now, callback)
         return finish
 
     def utilization(self, elapsed: float) -> float:

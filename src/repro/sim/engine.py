@@ -1,40 +1,71 @@
 """Core discrete-event engine.
 
-The engine is a priority queue of :class:`Event` objects ordered by
+The engine is a priority queue of heap entries ordered by
 ``(time, priority, sequence)``.  The sequence number makes the ordering of
 simultaneous events deterministic, which in turn makes every simulation run
 reproducible for a fixed seed.
+
+Two scheduling paths share one queue:
+
+* :meth:`Simulator.schedule` returns a cancellable :class:`Event` handle —
+  the general-purpose path used by timers and anything that may need a
+  label in a trace.
+* :meth:`Simulator.schedule_call` pushes a bare ``(callback, args)`` pair —
+  a fast path for the network fabric's fire-and-forget deliveries that
+  avoids allocating an :class:`Event` per message.  When a trace hook is
+  installed the fast path transparently upgrades to full events so traces
+  stay complete.
+
+The heap stores ``(time, priority, seq, item)`` tuples so ordering is
+resolved by native tuple comparison on the three leading numbers; ``item``
+(an :class:`Event` or a ``(callback, args)`` pair) is never compared because
+``seq`` is unique.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven into an invalid state."""
 
 
-@dataclass(order=True)
 class Event:
-    """A single scheduled callback.
+    """A single scheduled callback with a cancellable handle.
 
-    Events compare by ``(time, priority, seq)`` so that ties at the same
+    Events fire in ``(time, priority, seq)`` order so that ties at the same
     simulated instant are broken first by explicit priority and then by
-    insertion order.
+    insertion order.  Ordering lives in the heap entry tuple, not on the
+    event itself.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    executed: bool = field(default=False, compare=False)
-    owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
+    __slots__ = ("time", "priority", "seq", "callback", "label", "cancelled", "executed", "owner")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        label: str = "",
+        owner: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self.executed = False
+        self.owner = owner
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r}, seq={self.seq!r}, "
+            f"label={self.label!r}, cancelled={self.cancelled!r}, executed={self.executed!r})"
+        )
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it is popped.
@@ -47,6 +78,11 @@ class Event:
         self.cancelled = True
         if self.owner is not None:
             self.owner._note_cancelled()
+
+
+#: A heap entry: ``(time, priority, seq, item)`` where ``item`` is either an
+#: :class:`Event` or a bare ``(callback, args)`` fast-path pair.
+_Entry = Tuple[float, int, int, Any]
 
 
 class Simulator:
@@ -64,8 +100,8 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0, max_events: int = 50_000_000) -> None:
         self._now = start_time
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        self._queue: list[_Entry] = []
+        self._seq = 0
         self._processed = 0
         self._live = 0
         self._max_events = max_events
@@ -92,6 +128,11 @@ class Simulator:
         """Raw queue length, including cancelled events awaiting lazy removal."""
         return len(self._queue)
 
+    @property
+    def tracing(self) -> bool:
+        """True when a trace hook is installed (callers may skip label work)."""
+        return self._trace is not None
+
     def _note_cancelled(self) -> None:
         self._live -= 1
 
@@ -110,17 +151,43 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(
-            time=self._now + delay,
-            priority=priority,
-            seq=next(self._seq),
-            callback=callback,
-            label=label,
-            owner=self,
-        )
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        time = self._now + delay
+        event = Event(time, priority, seq, callback, label, self)
+        heapq.heappush(self._queue, (time, priority, seq, event))
         self._live += 1
         return event
+
+    def schedule_call(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        *,
+        priority: int = 0,
+    ) -> None:
+        """Fast-path schedule of ``callback(*args)`` with no Event allocation.
+
+        The entry cannot be cancelled and carries no label; use
+        :meth:`schedule` when a handle or a trace label is needed.  With a
+        trace hook installed this falls back to a full (labelled) event so
+        traces remain complete.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if self._trace is not None:
+            self.schedule(
+                delay,
+                (lambda: callback(*args)) if args else callback,
+                priority=priority,
+                label=getattr(callback, "__name__", "call"),
+            )
+            return
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, priority, seq, (callback, args)))
+        self._live += 1
 
     def schedule_at(
         self,
@@ -137,46 +204,54 @@ class Simulator:
         """Request the current :meth:`run` loop to stop after this event."""
         self._stopped = True
 
-    def _pop_next(self) -> Optional[Event]:
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if not event.cancelled:
-                self._live -= 1
-                return event
-        return None
-
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or :meth:`stop`.
 
         Returns the simulated time at which the run ended.  When ``until`` is
         given, the clock is advanced to ``until`` even if the queue drained
         earlier, so repeated calls to ``run`` observe a monotone clock.
+        The head of the heap is peeked before popping, so an event beyond the
+        window is left in place rather than popped and re-pushed on every
+        :meth:`run_for` tick.
         """
         self._stopped = False
+        queue = self._queue
+        heappop = heapq.heappop
+        event_cls = Event
+        max_events = self._max_events
         while not self._stopped:
-            if self._queue and until is not None and self._queue[0].time > until:
+            # Drop cancelled heads lazily so the window check below peeks at
+            # a live entry.
+            while queue:
+                head_item = queue[0][3]
+                if head_item.__class__ is event_cls and head_item.cancelled:
+                    heappop(queue)
+                else:
+                    break
+            if not queue:
                 break
-            event = self._pop_next()
-            if event is None:
+            time = queue[0][0]
+            if until is not None and time > until:
                 break
-            if until is not None and event.time > until:
-                # Put it back: it belongs to a later run window.
-                heapq.heappush(self._queue, event)
-                self._live += 1
-                break
-            if event.time < self._now:
+            item = heappop(queue)[3]
+            self._live -= 1
+            if time < self._now:
                 raise SimulationError("event queue went backwards in time")
-            self._now = event.time
+            self._now = time
             self._processed += 1
-            if self._processed > self._max_events:
+            if self._processed > max_events:
                 raise SimulationError(
-                    f"simulation exceeded {self._max_events} events; "
+                    f"simulation exceeded {max_events} events; "
                     "likely an unbounded message loop"
                 )
-            if self._trace is not None:
-                self._trace(event)
-            event.executed = True
-            event.callback()
+            if item.__class__ is event_cls:
+                if self._trace is not None:
+                    self._trace(item)
+                item.executed = True
+                item.callback()
+            else:
+                callback, args = item
+                callback(*args)
         if until is not None and self._now < until:
             self._now = until
         return self._now

@@ -146,6 +146,22 @@ class Network:
         self._drop_rules: list[DropRule] = []
         self._rewrite_rules: list[RewriteRule] = []
         self._down_nodes: Set[int] = set()
+        # Counter objects are stable for the registry's lifetime (reset
+        # mutates in place), so resolve them once instead of a string-keyed
+        # dict lookup per message.
+        metrics_registry = self.metrics
+        self._c_sent = metrics_registry.counter("network.messages_sent")
+        self._c_bytes = metrics_registry.counter("network.bytes_sent")
+        self._c_dropped = metrics_registry.counter("network.messages_dropped")
+        self._c_rewritten = metrics_registry.counter("network.messages_rewritten")
+        self._c_delivered = metrics_registry.counter("network.messages_delivered")
+        # Per-(sender, receiver) LinkSpec memo.  Fault injectors rescale the
+        # latency parameters in place mid-run, so every lookup validates the
+        # cache against the parameters it was built from and rebuilds when
+        # they changed.
+        self._default_link: Optional[LinkSpec] = None
+        self._topo_links: Dict[Tuple[int, int], LinkSpec] = {}
+        self._topo_params: Optional[Tuple[float, float, float, int]] = None
 
     # -- membership -----------------------------------------------------
 
@@ -222,6 +238,33 @@ class Network:
             return True
         return any(rule(sender, receiver, payload) for rule in self._drop_rules)
 
+    def _link(self, sender: int, receiver: int) -> LinkSpec:
+        """Memoized :meth:`NetworkConfig.link`, validated against the live
+        latency parameters so in-place rescaling (latency faults) is seen."""
+        config = self.config
+        topology = config.topology
+        if topology is None:
+            spec = self._default_link
+            if spec is None or spec.delay != config.base_delay or spec.jitter != config.jitter:
+                spec = LinkSpec(delay=config.base_delay, jitter=config.jitter)
+                self._default_link = spec
+            return spec
+        params = (
+            topology.intra_delay,
+            topology.inter_delay,
+            topology.jitter_fraction,
+            topology.regions,
+        )
+        if params != self._topo_params:
+            self._topo_links.clear()
+            self._topo_params = params
+        pair = (sender, receiver)
+        spec = self._topo_links.get(pair)
+        if spec is None:
+            spec = topology.link(sender, receiver)
+            self._topo_links[pair] = spec
+        return spec
+
     def send(self, sender: int, receiver: int, payload: object, size_bytes: int) -> bool:
         """Send ``payload`` from ``sender`` to ``receiver``.
 
@@ -230,54 +273,171 @@ class Network:
         still consumes sender NIC time if the drop happens in the network
         (loss), but not when the sender itself is down.
         """
-        if sender in self._down_nodes:
+        down = self._down_nodes
+        if sender in down:
             return False
-        self.metrics.counter("network.messages_sent").increment()
-        self.metrics.counter("network.bytes_sent").increment(size_bytes)
+        self._c_sent.value += 1.0
+        self._c_bytes.value += size_bytes
 
         # NIC serialisation at the sender: messages leave one after another.
-        now = self.simulator.now
-        nic_free = max(self._nic_free_at.get(sender, 0.0), now)
-        transmit_time = size_bytes / self.config.bandwidth_bytes_per_sec
-        departure = nic_free + transmit_time
-        self._nic_free_at[sender] = departure
+        simulator = self.simulator
+        config = self.config
+        now = simulator.now
+        nic = self._nic_free_at
+        nic_free = nic.get(sender, 0.0)
+        if nic_free < now:
+            nic_free = now
+        departure = nic_free + size_bytes / config.bandwidth_bytes_per_sec
+        nic[sender] = departure
 
-        if self._should_drop(sender, receiver, payload):
-            self.metrics.counter("network.messages_dropped").increment()
+        # Drop checks, inlined in the same order (and with the same RNG draw
+        # sequence) as :meth:`_should_drop`.
+        rng = self.rng
+        if receiver in down:
+            self._c_dropped.value += 1.0
+            return False
+        partition = self._partition
+        if partition is not None and not partition.allows(sender, receiver):
+            self._c_dropped.value += 1.0
+            return False
+        loss_rate = config.loss_rate
+        if loss_rate > 0.0 and rng.random() < loss_rate:
+            self._c_dropped.value += 1.0
+            return False
+        drop_rules = self._drop_rules
+        if drop_rules and any(rule(sender, receiver, payload) for rule in drop_rules):
+            self._c_dropped.value += 1.0
             return False
 
-        for rule in self._rewrite_rules:
-            rewritten = rule(sender, receiver, payload)
-            if rewritten is not None:
-                payload = rewritten
-                self.metrics.counter("network.messages_rewritten").increment()
+        rewrite_rules = self._rewrite_rules
+        if rewrite_rules:
+            for rule in rewrite_rules:
+                rewritten = rule(sender, receiver, payload)
+                if rewritten is not None:
+                    payload = rewritten
+                    self._c_rewritten.increment()
 
-        link = self.config.link(sender, receiver)
-        delivery_delay = (departure - now) + link.sample_delay(self.rng)
-        self.simulator.schedule(
-            delivery_delay,
-            lambda: self._deliver(sender, receiver, payload),
-            label=f"deliver:{sender}->{receiver}",
-        )
+        link = self._link(sender, receiver)
+        jitter = link.jitter
+        if jitter > 0.0:
+            propagation = link.delay + rng.uniform(-jitter, jitter)
+            if propagation < 0.0:
+                propagation = 0.0
+        else:
+            propagation = link.delay
+        delivery_delay = (departure - now) + propagation
+        if simulator.tracing:
+            simulator.schedule(
+                delivery_delay,
+                lambda: self._deliver(sender, receiver, payload),
+                label=f"deliver:{sender}->{receiver}",
+            )
+        else:
+            simulator.schedule_call(delivery_delay, self._deliver, (sender, receiver, payload))
         return True
 
     def broadcast(self, sender: int, receivers: Iterable[int], payload: object, size_bytes: int) -> int:
-        """Send ``payload`` to each receiver; returns how many were sent."""
+        """Send ``payload`` to each receiver; returns how many were sent.
+
+        This is a batched fast path: per-message invariants (NIC transmit
+        time, counters, fault surface, simulator handles) are resolved once
+        for the whole fan-out, and deliveries are scheduled without a closure
+        allocation per receiver.  Counter updates, NIC accounting and RNG
+        draws happen per receiver in iteration order, exactly as a loop of
+        :meth:`send` calls would produce them.
+        """
+        down = self._down_nodes
+        if sender in down:
+            return 0
+        simulator = self.simulator
+        config = self.config
+        rng = self.rng
+        random = rng.random
+        uniform = rng.uniform
+        nic = self._nic_free_at
+        c_sent = self._c_sent
+        c_bytes = self._c_bytes
+        c_dropped = self._c_dropped
+        transmit_time = size_bytes / config.bandwidth_bytes_per_sec
+        partition = self._partition
+        drop_rules = self._drop_rules
+        rewrite_rules = self._rewrite_rules
+        deliver = self._deliver
+        schedule_call = simulator.schedule_call
+        tracing = simulator.tracing
+        # Simulated time cannot advance while the fan-out loop runs, and each
+        # departure time strictly dominates the previous one, so the NIC clock
+        # is carried in a local and written back each iteration (drop/rewrite
+        # rules stay free to observe it).
+        now = simulator.now
+        nic_free = nic.get(sender, 0.0)
+        if nic_free < now:
+            nic_free = now
+        loss_rate = config.loss_rate
+        # Without a topology every receiver shares one link spec; resolve it
+        # once instead of per receiver (receiver ids are ignored then).
+        shared_link = self._link(sender, sender) if config.topology is None else None
         sent = 0
         for receiver in receivers:
-            if self.send(sender, receiver, payload, size_bytes):
-                sent += 1
+            # A drop rule may crash the sender mid-fan-out, so the down set
+            # is re-checked per receiver just as in :meth:`send`.
+            if sender in down:
+                continue
+            c_sent.value += 1.0
+            c_bytes.value += size_bytes
+            departure = nic_free + transmit_time
+            nic[sender] = nic_free = departure
+            if receiver in down:
+                c_dropped.value += 1.0
+                continue
+            if partition is not None and not partition.allows(sender, receiver):
+                c_dropped.value += 1.0
+                continue
+            if loss_rate > 0.0 and random() < loss_rate:
+                c_dropped.value += 1.0
+                continue
+            if drop_rules and any(rule(sender, receiver, payload) for rule in drop_rules):
+                c_dropped.value += 1.0
+                continue
+            message = payload
+            if rewrite_rules:
+                for rule in rewrite_rules:
+                    rewritten = rule(sender, receiver, message)
+                    if rewritten is not None:
+                        message = rewritten
+                        self._c_rewritten.increment()
+            link = shared_link if shared_link is not None else self._link(sender, receiver)
+            jitter = link.jitter
+            if jitter > 0.0:
+                propagation = link.delay + uniform(-jitter, jitter)
+                if propagation < 0.0:
+                    propagation = 0.0
+            else:
+                propagation = link.delay
+            delivery_delay = (departure - now) + propagation
+            if tracing:
+                simulator.schedule(
+                    delivery_delay,
+                    (lambda s=sender, r=receiver, m=message: deliver(s, r, m)),
+                    label=f"deliver:{sender}->{receiver}",
+                )
+            else:
+                schedule_call(delivery_delay, deliver, (sender, receiver, message))
+            sent += 1
         return sent
 
     def _deliver(self, sender: int, receiver: int, payload: object) -> None:
         if receiver in self._down_nodes:
-            self.metrics.counter("network.messages_dropped").increment()
+            self._c_dropped.value += 1.0
             return
         actor = self._actors.get(receiver)
         if actor is None:
             return
-        self.metrics.counter("network.messages_delivered").increment()
-        actor.deliver(sender, payload)
+        self._c_delivered.value += 1.0
+        # Inlined Actor.deliver: one frame per delivered message matters at
+        # this call rate, and no actor subclass overrides deliver.
+        actor.inbound_messages += 1
+        actor.on_message(sender, payload)
 
 
 __all__ = [

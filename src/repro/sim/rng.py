@@ -28,6 +28,11 @@ class DeterministicRng:
         self._seed = seed
         self._name = name
         self._random = random.Random(self._derive(seed, name))
+        # Bind the two hot draws straight to the underlying stream: the
+        # network samples jitter (and loss) per message, and the instance
+        # attribute shadows the delegating method below, skipping a frame.
+        self.uniform = self._random.uniform
+        self.random = self._random.random
 
     @staticmethod
     def _derive(seed: int, name: str) -> int:
@@ -50,8 +55,8 @@ class DeterministicRng:
         """Create an independent child stream identified by ``name``."""
         return DeterministicRng(self._derive(self._seed, self._name), name)
 
-    def uniform(self, low: float, high: float) -> float:
-        """Uniform float in ``[low, high)``."""
+    def uniform(self, low: float, high: float) -> float:  # pragma: no cover - shadowed
+        """Uniform float in ``[low, high)`` (shadowed by the bound draw)."""
         return self._random.uniform(low, high)
 
     def expovariate(self, rate: float) -> float:
@@ -62,8 +67,8 @@ class DeterministicRng:
         """Uniform integer in ``[low, high]`` inclusive."""
         return self._random.randint(low, high)
 
-    def random(self) -> float:
-        """Uniform float in ``[0, 1)``."""
+    def random(self) -> float:  # pragma: no cover - shadowed
+        """Uniform float in ``[0, 1)`` (shadowed by the bound draw)."""
         return self._random.random()
 
     def choice(self, items: Sequence[T]) -> T:

@@ -187,6 +187,28 @@ def test_block_digest_changes_with_content():
     assert one.digest() != two.digest()
 
 
+def test_block_digest_matches_canonical_encoding():
+    # Block.digest() assembles its encoding inline (to reuse the memoized
+    # proof sub-encoding); it must stay byte-identical to hashing the
+    # canonical fields the slow way.
+    from repro.crypto.digest import digest_bytes
+
+    proof = BlockProof(protocol="pbft", view=3, instance=1, quorum=("replica:0", "replica:1"))
+    cases = [
+        Block(height=0, parent_digest=b"\x00" * 32, transactions=()),
+        Block(height=7, parent_digest=b"\x11" * 32, transactions=(b"a" * 32, b"b" * 32)),
+        Block(height=7, parent_digest=b"\x11" * 32, transactions=(b"a" * 32,), proof=proof),
+        Block(height=2, parent_digest=b"\x22" * 32, transactions=(), proof=proof),
+    ]
+    for block in cases:
+        assert block.digest() == digest_bytes(block.canonical_fields())
+    # The proof sub-encoding memo must also match a fresh canonical pass.
+    from repro.crypto.digest import canonical_bytes
+
+    assert proof.encoded() == canonical_bytes(proof.canonical_fields())
+    assert proof.encoded() is proof.encoded()
+
+
 # ---------------------------------------------------------------------------
 # execution engine
 # ---------------------------------------------------------------------------

@@ -1,0 +1,239 @@
+"""Regression tests for the PR6 hot-path overhaul.
+
+Three layers of protection:
+
+* **event accounting** — the slotted :class:`Event` rewrite and the
+  peek-based run loop must keep ``pending_events``/``scheduled_events``
+  accounting exact under cancellation, lazy removal and the fast path;
+* **golden determinism** — a pinned benchmark cell replayed twice must
+  process the identical event count and produce the identical ledger, the
+  byte-for-byte invariant every optimisation in this PR was gated on;
+* **perf harness** — ``repro perf``'s ``--check`` gate must catch
+  determinism drift and wall-time blowups, and the committed
+  ``BENCH_PR6.json`` trajectory file must stay loadable and self-consistent.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import perf
+from repro.sim.engine import Simulator
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_PR6.json"
+
+
+# ---------------------------------------------------------------------------
+# event accounting under the slotted Event / peek-based run loop
+# ---------------------------------------------------------------------------
+
+
+def test_cancel_decrements_pending_immediately():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    event.cancel()
+    # Live count drops immediately; the heap entry is removed lazily.
+    assert sim.pending_events == 1
+    assert sim.scheduled_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.scheduled_events == 0
+    assert sim.processed_events == 1
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_execution_is_a_noop():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+    assert sim.pending_events == 0
+    event.cancel()
+    assert sim.pending_events == 0
+
+
+def test_fast_path_entries_count_as_pending():
+    sim = Simulator()
+    fired = []
+    sim.schedule_call(1.0, fired.append, (1,))
+    sim.schedule_call(2.0, fired.append, (2,))
+    assert sim.pending_events == 2
+    sim.run(until=1.5)
+    assert fired == [1]
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == [1, 2]
+    assert sim.pending_events == 0
+
+
+def test_cancelled_head_does_not_leak_into_window_accounting():
+    sim = Simulator()
+    head = sim.schedule(1.0, lambda: None)
+    tail = sim.schedule(5.0, lambda: None)
+    head.cancel()
+    # The cancelled head is dropped lazily; the 5.0 event is peeked, seen
+    # beyond the window and left in the queue.
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    assert sim.pending_events == 1
+    assert sim.scheduled_events == 1
+    tail.cancel()
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.scheduled_events == 0
+
+
+def test_shared_sequence_keeps_mixed_scheduling_deterministic():
+    # schedule() and schedule_call() share one sequence counter, so ties at
+    # the same (time, priority) fire in insertion order across both paths.
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("event-a"))
+    sim.schedule_call(1.0, order.append, ("call-b",))
+    sim.schedule(1.0, lambda: order.append("event-c"))
+    sim.run()
+    assert order == ["event-a", "call-b", "event-c"]
+
+
+# ---------------------------------------------------------------------------
+# golden determinism of a pinned benchmark cell
+# ---------------------------------------------------------------------------
+
+
+def _run_hotstuff_cell():
+    from repro.bench.cluster import SimulatedCluster
+
+    cluster = SimulatedCluster.for_protocol(
+        "hotstuff",
+        num_replicas=perf.HAPPY_REPLICAS,
+        batch_size=perf.HAPPY_BATCH,
+        clients=perf.HAPPY_CLIENTS,
+        outstanding_per_client=perf.HAPPY_OUTSTANDING,
+        seed=perf.HAPPY_SEED,
+        checkpoint_interval=0,
+    )
+    cluster.run(duration=perf.HAPPY_DURATION)
+    ledger = cluster.replicas[0].ledger
+    return cluster.simulator.processed_events, ledger.head.digest()
+
+
+def test_pinned_cell_replays_byte_identically():
+    events_one, digest_one = _run_hotstuff_cell()
+    events_two, digest_two = _run_hotstuff_cell()
+    assert events_one == events_two
+    assert digest_one == digest_two
+
+
+# ---------------------------------------------------------------------------
+# perf harness: check gate semantics
+# ---------------------------------------------------------------------------
+
+
+def _blob(cells):
+    total_wall = sum(c["wall_s"] for c in cells)
+    total_events = sum(c["events"] for c in cells)
+    return {
+        "schema": perf.SCHEMA,
+        "quick": False,
+        "cells": cells,
+        "total_wall_s": total_wall,
+        "total_events": total_events,
+        "aggregate_events_per_sec": int(total_events / total_wall) if total_wall else 0,
+    }
+
+
+def _cell(name, events, wall_s):
+    return {
+        "name": name,
+        "events": events,
+        "wall_s": wall_s,
+        "events_per_sec": int(events / wall_s),
+    }
+
+
+def test_check_report_passes_on_matching_suite():
+    reference = _blob([_cell("a", 100, 1.0), _cell("b", 200, 2.0)])
+    report = _blob([_cell("a", 100, 1.1), _cell("b", 200, 2.1)])
+    assert perf.check_report(report, reference) == []
+
+
+def test_check_report_flags_determinism_drift():
+    reference = _blob([_cell("a", 100, 1.0)])
+    report = _blob([_cell("a", 101, 1.0)])
+    failures = perf.check_report(report, reference)
+    assert len(failures) == 1
+    assert "determinism drift" in failures[0]
+
+
+def test_check_report_flags_wall_regression():
+    reference = _blob([_cell("a", 100, 1.0)])
+    report = _blob([_cell("a", 100, 2.0)])
+    failures = perf.check_report(report, reference, tolerance=0.25)
+    assert len(failures) == 1
+    assert "wall time" in failures[0]
+    # A generous tolerance accepts the same run.
+    assert perf.check_report(report, reference, tolerance=2.0) == []
+
+
+def test_check_report_ignores_cells_missing_from_reference():
+    # --quick runs gate only the cells both suites share.
+    reference = _blob([_cell("a", 100, 1.0)])
+    report = _blob([_cell("a", 100, 1.0), _cell("new", 5, 0.1)])
+    assert perf.check_report(report, reference) == []
+
+
+def test_check_report_requires_a_common_cell():
+    reference = _blob([_cell("a", 100, 1.0)])
+    report = _blob([_cell("z", 100, 1.0)])
+    failures = perf.check_report(report, reference)
+    assert failures == ["no cells in common with the reference suite"]
+
+
+def test_check_report_unwraps_trajectory_envelope():
+    # A committed BENCH file holds {"before": ..., "after": ...}; the gate
+    # compares against "after" (the tree the numbers were committed with).
+    after = _blob([_cell("a", 100, 1.0)])
+    before = _blob([_cell("a", 100, 10.0)])
+    committed = {"schema": perf.SCHEMA, "before": before, "after": after}
+    report = _blob([_cell("a", 100, 1.05)])
+    assert perf.check_report(report, committed) == []
+    drifted = _blob([_cell("a", 99, 1.0)])
+    assert len(perf.check_report(drifted, committed)) == 1
+
+
+def test_profile_cell_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown perf cell"):
+        perf.profile_cell("no-such-cell")
+
+
+# ---------------------------------------------------------------------------
+# the committed trajectory file
+# ---------------------------------------------------------------------------
+
+
+def test_bench_file_is_loadable_and_self_consistent():
+    committed = perf.load_reference(str(BENCH_FILE))
+    assert committed["schema"] == perf.SCHEMA
+    before, after = committed["before"], committed["after"]
+    suite_names = [cell.name for cell in perf.CELLS]
+    for blob in (before, after):
+        assert [c["name"] for c in blob["cells"]] == suite_names
+    # The whole point of the trajectory file: the optimised tree processes
+    # the byte-identical event schedule, only faster.
+    before_events = {c["name"]: c["events"] for c in before["cells"]}
+    after_events = {c["name"]: c["events"] for c in after["cells"]}
+    assert before_events == after_events
+    assert after["total_wall_s"] < before["total_wall_s"]
+    assert committed["speedup"]["aggregate_events_per_sec"] >= 3.0

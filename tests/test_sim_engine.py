@@ -167,9 +167,9 @@ def test_pending_events_excludes_cancelled_events():
 
 def test_pending_events_tracks_window_pushback():
     sim = Simulator()
-    # A cancelled event heads the queue so the run window cannot break
-    # early: the 5.0 event is actually popped, found beyond the window,
-    # and re-queued — exercising the pushback accounting.
+    # A cancelled event heads the queue: the run loop must drop it lazily
+    # before the window check, then leave the 5.0 event in place (peeked,
+    # not popped) because it lies beyond the window.
     head = sim.schedule(1.0, lambda: None)
     sim.schedule(5.0, lambda: None)
     head.cancel()
