@@ -662,6 +662,21 @@ def _cmd_triage_corpus(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 1
+    if args.require_clean:
+        # Open bugs stopped being "expected" once the seed corpus closed:
+        # a still-failing entry is a liveness bug someone has to fix, and a
+        # fixed-but-unpromoted entry is a regression guard not yet armed.
+        unclean = [outcome for outcome in outcomes if outcome.status != "passing"]
+        if unclean:
+            print(f"\n--require-clean: {len(unclean)} entries are not passing regressions:", file=sys.stderr)
+            for outcome in unclean:
+                hint = (
+                    f"promote it with `repro triage corpus --promote {outcome.entry.name}`"
+                    if outcome.status == "fixed"
+                    else "fix the underlying bug"
+                )
+                print(f"  {outcome.entry.name}: {outcome.status} — {hint}", file=sys.stderr)
+            return 1
     if fixed:
         print(
             f"\ncorpus: {len(outcomes) - len(fixed)} of {len(outcomes)} entries behave "
@@ -921,6 +936,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="flip one fixed entry to a passing regression instead of replaying",
+    )
+    corpus_parser.add_argument(
+        "--require-clean",
+        action="store_true",
+        help="fail if any entry is not a passing regression (open bugs are no longer 'expected')",
     )
     corpus_parser.set_defaults(triage_handler=_cmd_triage_corpus)
 

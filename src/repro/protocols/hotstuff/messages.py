@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.net.message import Message
+from repro.workload.requests import Transaction
 
 
 @dataclass(frozen=True)
@@ -109,20 +110,34 @@ class HsNodeData(Message):
 
 @dataclass(frozen=True)
 class HsChainRequest(Message):
-    """Ask a peer for the ancestors of a chain node we only know by QC."""
+    """Ask a peer for the ancestors of a chain node we only know by QC.
+
+    ``want_payloads`` additionally asks for the transaction payloads of the
+    returned segment: a straggler whose commits outran its payload store
+    (it missed the client broadcasts while partitioned) uses this to pull
+    the bodies it needs to execute an already-committed prefix.
+    """
 
     node_digest: bytes
+    want_payloads: bool = False
 
     def canonical_fields(self) -> tuple:
         """Fields covered by authentication."""
-        return ("hs-chain-request", self.node_digest)
+        return ("hs-chain-request", self.node_digest, self.want_payloads)
 
 
 @dataclass(frozen=True)
 class HsChainResponse(Message):
-    """A chain segment walking certified ancestors toward the committed prefix."""
+    """A chain segment walking certified ancestors toward the committed prefix.
+
+    ``payloads`` is only populated for ``want_payloads`` requests.  Payloads
+    are deliberately outside the canonical fields: the receiver re-hashes
+    each one and only registers those referenced by a digest-verified node,
+    so a Byzantine responder cannot smuggle forged request bodies.
+    """
 
     nodes: Tuple[HsNodeData, ...]
+    payloads: Tuple[Transaction, ...] = ()
 
     def canonical_fields(self) -> tuple:
         """Fields covered by authentication."""

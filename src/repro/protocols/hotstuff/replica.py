@@ -108,10 +108,24 @@ class HotStuffReplica(BftReplicaBase):
         # Chain-sync dedup: digest -> view in which it was last requested.
         self._chain_requested: Dict[bytes, int] = {}
         self._view_timer: Optional[object] = None
+        # Chain-sync retry machinery: digests requested but still unknown,
+        # the peer each was last requested from, and a shared rotation
+        # counter so consecutive retries fan out across distinct targets.
+        self._outstanding_syncs: Set[bytes] = set()
+        self._sync_last_target: Dict[bytes, int] = {}
+        self._sync_rounds = 0
+        self._sync_retry_timer: Optional[object] = None
+        self._sync_retry_armed = False
+        # Node digest currently being payload-pulled: its position is
+        # committed but some transaction body never reached this replica.
+        self._payload_pull_digest: Optional[bytes] = None
         self.view_timeouts = 0
         self.proposals_made = 0
         self.chain_syncs_requested = 0
         self.chain_syncs_served = 0
+        self.chain_sync_retries = 0
+        self.chain_sync_rotations = 0
+        self.payload_pulls = 0
 
     # ------------------------------------------------------------------
 
@@ -205,7 +219,11 @@ class HotStuffReplica(BftReplicaBase):
         if isinstance(message, HsNewView):
             return self.size_model.control_bytes() + self.size_model.certificate_bytes(qc_signatures)
         if isinstance(message, HsChainResponse):
-            return self.size_model.control_bytes() + len(message.nodes) * self.size_model.proposal_bytes()
+            return (
+                self.size_model.control_bytes()
+                + len(message.nodes) * self.size_model.proposal_bytes()
+                + len(message.payloads) * self.size_model.request_bytes()
+            )
         return self.size_model.control_bytes(signatures=1)
 
     def on_protocol_message(self, sender: int, payload: object) -> None:
@@ -319,6 +337,14 @@ class HotStuffReplica(BftReplicaBase):
             return
         if qc.view > self.high_qc.view:
             self.high_qc = qc
+            if qc.node_digest not in self.nodes and qc.node_digest != GENESIS_NODE_DIGEST:
+                # A quorum certified a node this replica never received (an
+                # A2 attacker withheld the proposal).  Votes only flow to the
+                # next leader, so no broadcast will back-fill the gap — pull
+                # the chain from a rotated QC signer: every signer voted for
+                # the node, so every signer has it, unlike the leader that
+                # withheld it.
+                self._request_chain(self._rotated_signer(qc), qc.node_digest)
 
     # -- pacemaker new-view ------------------------------------------------
 
@@ -390,6 +416,9 @@ class HotStuffReplica(BftReplicaBase):
                 view=member.view,
                 instance=0,
             )
+        # Committing can outrun execution when a payload is locally missing;
+        # start pulling it immediately instead of waiting for the retry timer.
+        self._maybe_pull_payloads()
         return None
 
     # ------------------------------------------------------------------
@@ -406,9 +435,125 @@ class HotStuffReplica(BftReplicaBase):
         if target == self.node_id:
             return
         self._chain_requested[node_digest] = self.view
+        self._sync_last_target[node_digest] = target
+        self._outstanding_syncs.add(node_digest)
         self.chain_syncs_requested += 1
         request = HsChainRequest(node_digest=node_digest)
         self.send(target, request, self._size_of(request))
+        self._arm_sync_retry()
+
+    def _rotated_signer(self, qc: QuorumCert) -> int:
+        """A signer of ``qc`` picked on the shared rotation (never self)."""
+        signers = [s for s in qc.signers if s != self.node_id]
+        if not signers:
+            signers = self.other_replicas()
+        choice = signers[self._sync_rounds % len(signers)]
+        self._sync_rounds += 1
+        return choice
+
+    def _next_rotated_target(self, node_digest: bytes) -> int:
+        """Next peer in rotation for ``node_digest``, never the last one tried."""
+        peers = self.other_replicas()
+        last = self._sync_last_target.get(node_digest)
+        if last in peers and len(peers) > 1:
+            start = (peers.index(last) + 1) % len(peers)
+        else:
+            start = self._sync_rounds % len(peers)
+        self._sync_rounds += 1
+        self.chain_sync_rotations += 1
+        return peers[start]
+
+    def _arm_sync_retry(self) -> None:
+        """Schedule a stall check after chain-sync traffic goes out."""
+        if self._sync_retry_armed:
+            return
+        self._sync_retry_armed = True
+        self._sync_retry_timer = self.simulator.schedule(
+            self.config.request_timeout,
+            self._on_sync_retry,
+            label=f"hs-{self.node_id}-chain-sync-retry",
+        )
+
+    def _cancel_sync_retry(self) -> None:
+        if self._sync_retry_timer is not None:
+            self._sync_retry_timer.cancel()
+            self._sync_retry_timer = None
+        self._sync_retry_armed = False
+
+    def _payload_stalled(self) -> bool:
+        """True when commits outran execution: a committed payload is missing."""
+        return self.pipeline.next_execution_position < len(self._position_digests)
+
+    def _on_sync_retry(self) -> None:
+        """Straggler self-check: re-derive every gap from local state.
+
+        The request paths above react to message *receipt*; a withholding
+        responder defeats them by never answering.  This timer reacts to the
+        state gaps themselves — an unknown high-QC node, a parked commit
+        cascade, a payload hole behind the committed frontier — and
+        re-requests each from a rotated target so the silent first responder
+        cannot wedge the replica.
+        """
+        self._sync_retry_timer = None
+        self._sync_retry_armed = False
+        self._outstanding_syncs = {d for d in self._outstanding_syncs if d not in self.nodes}
+        if (
+            self.high_qc.node_digest not in self.nodes
+            and self.high_qc.node_digest != GENESIS_NODE_DIGEST
+        ):
+            self._outstanding_syncs.add(self.high_qc.node_digest)
+        for digest in list(self._pending_commit_roots):
+            node = self.nodes.get(digest)
+            if node is None:
+                continue
+            missing = self._commit_chain(node)
+            if missing is not None:
+                self._outstanding_syncs.add(missing)
+        for digest in sorted(self._outstanding_syncs):
+            self.chain_sync_retries += 1
+            self._chain_requested.pop(digest, None)  # unlatch the per-view dedup
+            self._request_chain(self._next_rotated_target(digest), digest)
+        self._maybe_pull_payloads(force=True)
+        self._maybe_propose_after_sync()
+
+    def _maybe_pull_payloads(self, force: bool = False) -> None:
+        """Pull missing transaction payloads behind the committed frontier.
+
+        A replica that was partitioned can commit positions whose client
+        broadcasts it missed; consensus-level sync cannot unwedge it because
+        the chain nodes only carry digests.  ``force`` (the retry timer)
+        re-sends even while a pull is outstanding, rotating the target.
+        """
+        if not self._payload_stalled():
+            self._payload_pull_digest = None
+            return
+        position = self.pipeline.next_execution_position
+        digest = self._position_digests[position]
+        if not force and self._payload_pull_digest == digest:
+            return  # a pull is in flight; the retry timer rotates targets
+        self._payload_pull_digest = digest
+        self.payload_pulls += 1
+        self._chain_requested[digest] = self.view  # admit the response
+        request = HsChainRequest(node_digest=digest, want_payloads=True)
+        self.send(self._next_rotated_target(digest), request, self._size_of(request))
+        self._arm_sync_retry()
+
+    def _maybe_propose_after_sync(self) -> None:
+        """Propose if chain sync just delivered the parent this view was stuck on.
+
+        The leader of the current view may hold a QC for a node it only
+        received via sync; ``_propose`` bailed when the quorum formed and no
+        later message will re-trigger it, so sync completion itself must.
+        """
+        view = self.view
+        if not self.is_leader(view) or view in self._proposed_in_view:
+            return
+        if self.high_qc.node_digest not in self.nodes:
+            return
+        quorum = self.config.num_replicas - self.config.f
+        has_new_view_quorum = len(self._new_views.get(view, set())) >= quorum
+        if has_new_view_quorum or self.high_qc.view == view - 1:
+            self._propose(view)
 
     def _on_chain_request(self, sender: int, request: HsChainRequest) -> None:
         """Serve a chain segment walking ancestors toward the committed prefix."""
@@ -436,7 +581,18 @@ class HotStuffReplica(BftReplicaBase):
         if not segment:
             return
         self.chain_syncs_served += 1
-        response = HsChainResponse(nodes=tuple(segment))
+        payloads: List = []
+        if request.want_payloads:
+            seen: Set[bytes] = set()
+            for data in segment:
+                for tx_digest in data.transaction_digests:
+                    if tx_digest in seen:
+                        continue
+                    seen.add(tx_digest)
+                    payload = self.mempool.get(tx_digest)
+                    if payload is not None:
+                        payloads.append(payload)
+        response = HsChainResponse(nodes=tuple(segment), payloads=tuple(payloads))
         self.send(sender, response, self._size_of(response))
 
     def _on_chain_response(self, sender: int, response: HsChainResponse) -> None:
@@ -451,6 +607,7 @@ class HotStuffReplica(BftReplicaBase):
             # starts at a digest this replica asked for.
             return
         deepest_missing: Optional[bytes] = None
+        verified_tx_digests: Set[bytes] = set()
         for data in reversed(response.nodes):
             # Recompute the digest from content: forged nodes are discarded,
             # and a node carrying a below-quorum justify is dropped outright
@@ -461,6 +618,7 @@ class HotStuffReplica(BftReplicaBase):
                 self.config.num_replicas - self.config.f
             ):
                 continue
+            verified_tx_digests.update(data.transaction_digests)
             existing = self.nodes.get(data.digest)
             if existing is not None:
                 self._upgrade_justify(existing, data.justify)
@@ -482,13 +640,34 @@ class HotStuffReplica(BftReplicaBase):
                 # Oldest-first iteration: the first missing parent is the
                 # deepest gap to keep walking toward.
                 deepest_missing = data.parent_digest
+        # Payloads ride alongside a want_payloads segment.  Only bodies
+        # referenced by a digest-verified node are registered — the mempool
+        # keys them by recomputed hash, so forged bodies are unreachable.
+        if response.payloads:
+            registered = False
+            for payload in response.payloads:
+                if payload.digest() in verified_tx_digests:
+                    self.mempool.register_payload(payload)
+                    registered = True
+            if registered:
+                self.pipeline.advance()
+        head = self.nodes.get(response.nodes[0].digest)
+        if head is not None:
+            # The synced head may complete a three-chain the cluster has
+            # already moved past; no future proposal will re-present it.
+            self._apply_commit_rules(head, sender)
         for digest in list(self._pending_commit_roots):
             node = self.nodes.get(digest)
             if node is not None:
                 self._commit_chain(node)
+        self._outstanding_syncs = {d for d in self._outstanding_syncs if d not in self.nodes}
+        self._maybe_pull_payloads()
+        self._maybe_propose_after_sync()
         if deepest_missing is not None and self._pending_commit_roots:
             # Still not connected: keep walking the chain backwards.
             self._request_chain(sender, deepest_missing)
+        elif not self._outstanding_syncs and not self._payload_stalled():
+            self._cancel_sync_retry()
 
     def _on_position_executed(
         self, position: int, digests: Tuple[bytes, ...], view: int, instance: int
@@ -568,12 +747,28 @@ class HotStuffReplica(BftReplicaBase):
         self._chain_requested = {
             digest: view for digest, view in self._chain_requested.items() if view >= horizon
         }
+        self._sync_last_target = {
+            digest: target
+            for digest, target in self._sync_last_target.items()
+            if digest in self._outstanding_syncs or digest == self._payload_pull_digest
+        }
 
     # ------------------------------------------------------------------
 
     def committed_chain_height(self) -> int:
         """Number of committed chain nodes (excluding genesis)."""
         return self._committed_height
+
+    def liveness_counters(self) -> Dict[str, int]:
+        """Liveness-machinery counters surfaced in scenario results."""
+        return {
+            "chain_syncs_requested": self.chain_syncs_requested,
+            "chain_syncs_served": self.chain_syncs_served,
+            "chain_sync_retries": self.chain_sync_retries,
+            "chain_sync_rotations": self.chain_sync_rotations,
+            "payload_pulls": self.payload_pulls,
+            "view_timeouts": self.view_timeouts,
+        }
 
 
 __all__ = ["GENESIS_NODE_DIGEST", "ChainNode", "HotStuffReplica"]

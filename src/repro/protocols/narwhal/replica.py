@@ -56,8 +56,13 @@ class NarwhalHsReplica(HotStuffReplica):
         if isinstance(message, (HsVote, HsNewView)):
             return self.size_model.control_bytes(signatures=1) + certified_batch
         if isinstance(message, HsChainResponse):
-            # Chain sync ships each synced node as a certified batch.
-            return self.size_model.control_bytes() + len(message.nodes) * certified_batch
+            # Chain sync ships each synced node as a certified batch, plus
+            # any payload bodies a straggler pulled behind its frontier.
+            return (
+                self.size_model.control_bytes()
+                + len(message.nodes) * certified_batch
+                + len(message.payloads) * self.size_model.request_bytes()
+            )
         return self.size_model.control_bytes()
 
     def deliver_batch(self, position, transaction_digests, view=0, instance=0):  # type: ignore[override]

@@ -37,6 +37,9 @@ class PbftEnvironment:
     next_batch: Callable[[int], Optional[Tuple[bytes, ...]]]
     on_decide: Callable[[int, int, int, Tuple[bytes, ...]], None]
     now: Callable[[], float] = lambda: 0.0
+    # Requests queued at this replica but not yet executed: the progress
+    # deadline only stays armed while there is work the primary owes us.
+    pending_requests: Callable[[], int] = lambda: 0
 
 
 @dataclass
@@ -114,6 +117,9 @@ class PbftInstanceCore:
         self._future_messages: List[Tuple[int, object]] = []
         self._progress_timer: Optional[object] = None
         self._progress_deadline_armed = False
+        # Decided frontier at the moment the progress deadline was armed:
+        # the timer only escalates when the frontier has not moved since.
+        self._deadline_frontier = -1
         self._view_change_timer: Optional[object] = None
 
         # Stable checkpoint floor: every sequence below it is quorum-attested
@@ -130,6 +136,12 @@ class PbftInstanceCore:
         self.decided_batches = 0
         self.preprepares_sent = 0
         self.views_adopted = 0
+        # Liveness-machinery trace counters: deadline re-arms granted to a
+        # frontier that kept advancing (partial progress that would have
+        # silently suppressed a view change under cancel-on-any-PrePrepare),
+        # and deadlines that expired with a genuinely stalled frontier.
+        self.progress_deadline_extensions = 0
+        self.progress_timeout_fires = 0
 
         # Quorum threshold as a plain int: the per-vote checks compare
         # against it on every Prepare/Commit, and the property chain through
@@ -258,6 +270,10 @@ class PbftInstanceCore:
             v: votes for v, votes in self._view_change_votes.items() if v > self.view
         }
         self._replay_future_messages()
+        # Re-arm under the adopted view: the new primary gets a fresh full
+        # deadline, and the timer label never outlives the view it names.
+        if self._awaiting_progress():
+            self.arm_progress_timer()
 
     def _replay_future_messages(self) -> None:
         ready = [(s, m) for s, m in self._future_messages if m.view <= self.view]
@@ -283,7 +299,12 @@ class PbftInstanceCore:
             self._inflight.add(slot.sequence)
         slot.digests = message.transaction_digests
         slot.batch_digest = batch_digest
-        self._cancel_progress_timer()
+        # A PrePrepare is a commit *obligation*, not commit *progress*: a
+        # partially-responsive primary that drip-feeds proposals must not be
+        # able to reset the deadline forever (fuzz-1-42-min wedged every
+        # replica exactly that way).  The deadline is armed here if idle and
+        # only moves when the decided frontier does (_note_frontier_progress).
+        self.arm_progress_timer()
         prepare = PrepareMessage(
             instance=self.instance_id,
             view=message.view,
@@ -351,11 +372,14 @@ class PbftInstanceCore:
         self._inflight.discard(slot.sequence)
         self.decided_batches += 1
         self.last_decided_sequence = max(self.last_decided_sequence, slot.sequence)
+        frontier_before = self.decided_frontier
         while True:
             following = self.slots.get(self.decided_frontier + 1)
             if following is None or not following.committed:
                 break
             self.decided_frontier += 1
+        if self.decided_frontier > frontier_before:
+            self._note_frontier_progress()
         self.env.on_decide(self.instance_id, slot.sequence, slot.view, slot.digests)
         self.try_propose()
 
@@ -364,14 +388,24 @@ class PbftInstanceCore:
     # ------------------------------------------------------------------
 
     def arm_progress_timer(self) -> None:
-        """Arm the request-progress timer used to detect a silent primary.
+        """Arm the progress deadline used to detect a stalled primary.
 
-        Backups arm it when they know of pending requests that the primary
-        should be proposing; if it expires a view change starts.
+        Backups arm it whenever there is outstanding work — pending requests
+        the primary should propose, or proposed slots that have not committed.
+        The deadline binds to the decided frontier at arm time: it re-arms
+        when the frontier advances with work still outstanding, disarms when
+        the work drains, and escalates to a view change when it expires with
+        the frontier unmoved.  Crucially, *receiving* a PrePrepare neither
+        cancels nor resets it — only committed progress does.
+
+        The timer never survives a view adoption (adoption paths cancel and
+        re-arm), so the view baked into the label is always the view the
+        timeout would escalate from.
         """
         if self._progress_deadline_armed or self.is_primary() or not self.active:
             return
         self._progress_deadline_armed = True
+        self._deadline_frontier = self.decided_frontier
         self._progress_timer = self.env.set_timer(
             f"pbft-{self.instance_id}-progress-{self.view}",
             self.config.request_timeout,
@@ -384,11 +418,46 @@ class PbftInstanceCore:
             self._progress_timer = None
         self._progress_deadline_armed = False
 
+    def _awaiting_progress(self) -> bool:
+        """True while the primary owes this replica commits.
+
+        Covers both halves of the obligation: slots proposed but not yet
+        committed (content in flight) and requests queued locally that no
+        proposal has covered.  The pending-request half is deliberately the
+        replica-wide pool for RCC — the global order interleaves every
+        instance, so a request anywhere demands progress from each one.
+        """
+        return bool(self._inflight) or self.env.pending_requests() > 0
+
+    def _note_frontier_progress(self) -> None:
+        """The decided frontier advanced: extend or disarm the deadline.
+
+        With work still outstanding the deadline re-arms from *now* against
+        the new frontier (partial progress buys the primary a full timeout,
+        never an indefinite reprieve); with nothing outstanding it disarms.
+        """
+        if not self._progress_deadline_armed:
+            return
+        self._cancel_progress_timer()
+        if self._awaiting_progress():
+            self.progress_deadline_extensions += 1
+            self.arm_progress_timer()
+
     def _on_progress_timeout(self) -> None:
         self._progress_timer = None
         self._progress_deadline_armed = False
         if not self.active:
             return
+        if not self._awaiting_progress():
+            return  # workload drained while the deadline was pending
+        if self.decided_frontier > self._deadline_frontier:
+            # Progress since arm that did not route through
+            # _note_frontier_progress (e.g. a floor installed while this
+            # fire was already scheduled): extend rather than escalate.
+            self.progress_deadline_extensions += 1
+            self.arm_progress_timer()
+            return
+        self.progress_timeout_fires += 1
         self.request_view_change(self.view + 1)
 
     def request_view_change(self, new_view: int) -> None:
@@ -481,12 +550,19 @@ class PbftInstanceCore:
         self.checkpoint_floor = floor_sequence
         if certificate is not None:
             self.stable_checkpoint = certificate
+        frontier_before = self.decided_frontier
         self.decided_frontier = max(self.decided_frontier, floor_sequence - 1)
         self.last_decided_sequence = max(self.last_decided_sequence, floor_sequence - 1)
         self.next_sequence = max(self.next_sequence, floor_sequence)
         for sequence in [s for s in self.slots if s < floor_sequence]:
             del self.slots[sequence]
             self._inflight.discard(sequence)
+        if self.decided_frontier > frontier_before:
+            # A certified floor proves cluster-wide execution progress: it
+            # extends the deadline exactly like locally-decided progress (a
+            # backup kept dark by an A2 primary but caught up through state
+            # transfer has no grounds to demand a view change).
+            self._note_frontier_progress()
 
     def on_view_change(self, sender: int, message: ViewChangeMessage) -> None:
         """Collect ViewChange votes; the new primary announces NewView at 2f + 1."""
@@ -620,6 +696,9 @@ class PbftInstanceCore:
             self.next_sequence = max(self.next_sequence, existing + 1)
             self.try_propose()
         self._replay_future_messages()
+        # Fresh deadline for the new primary (see _maybe_adopt_future_view).
+        if self._awaiting_progress():
+            self.arm_progress_timer()
 
     # ------------------------------------------------------------------
     # dispatch helper

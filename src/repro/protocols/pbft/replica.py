@@ -58,6 +58,7 @@ class PbftReplica(BftReplicaBase):
                 next_batch=lambda instance: self.take_batch(),
                 on_decide=self._on_decide,
                 now=lambda: self.simulator.now,
+                pending_requests=self.pending_request_count,
             ),
         )
 
@@ -116,6 +117,14 @@ class PbftReplica(BftReplicaBase):
     def view_change_count(self) -> int:
         """Number of completed view changes."""
         return self.core.view_changes
+
+    def liveness_counters(self) -> dict:
+        """Progress-deadline counters surfaced in scenario results."""
+        return {
+            "progress_deadline_extensions": self.core.progress_deadline_extensions,
+            "progress_timeout_fires": self.core.progress_timeout_fires,
+            "view_changes": self.core.view_changes,
+        }
 
 
 __all__ = ["PbftReplica"]

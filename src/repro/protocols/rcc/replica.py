@@ -76,6 +76,10 @@ class RccReplica(BftReplicaBase):
                     next_batch=self._next_instance_batch,
                     on_decide=self._on_instance_decide,
                     now=lambda: self.simulator.now,
+                    # Replica-wide on purpose: the global order interleaves
+                    # every instance, so queued work anywhere obliges each
+                    # instance to keep its rounds moving.
+                    pending_requests=self.pending_request_count,
                 ),
             )
 
@@ -206,6 +210,18 @@ class RccReplica(BftReplicaBase):
     def instance_views(self) -> Dict[int, int]:
         """Current view of each instance."""
         return {instance_id: core.view for instance_id, core in self.cores.items()}
+
+    def liveness_counters(self) -> Dict[str, int]:
+        """Progress-deadline counters summed over every instance core."""
+        return {
+            "progress_deadline_extensions": sum(
+                core.progress_deadline_extensions for core in self.cores.values()
+            ),
+            "progress_timeout_fires": sum(
+                core.progress_timeout_fires for core in self.cores.values()
+            ),
+            "view_changes": sum(core.view_changes for core in self.cores.values()),
+        }
 
 
 __all__ = ["RccReplica"]

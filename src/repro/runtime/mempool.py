@@ -79,8 +79,16 @@ class Mempool:
         self._proposed.update(digests)
 
     def mark_executed(self, digest: bytes) -> None:
-        """Record that ``digest`` was executed (it will never re-queue)."""
+        """Record that ``digest`` was executed (it will never re-queue).
+
+        The digest also leaves the queued set immediately: backups never
+        call ``take_batch``, so without this an executed request would sit
+        in ``pending_count`` forever and the progress-deadline machinery
+        would see phantom outstanding work in a drained system.  The deque
+        entry itself is pruned lazily by ``take_batch``, as before.
+        """
         self._executed.add(digest)
+        self._queued.discard(digest)
 
     def is_queued(self, digest: bytes) -> bool:
         """True while ``digest`` sits in some pending queue."""

@@ -421,6 +421,15 @@ class ReplicaRuntime(Actor):
         """Hook for protocols that propose reconstructible no-op batches."""
         return None
 
+    def liveness_counters(self) -> Dict[str, int]:
+        """Hook: liveness-machinery counters surfaced in scenario results.
+
+        Protocols report deadline extensions, timeout fires, chain-sync
+        retries and the like here so a wedge in this family of bugs shows
+        up as an observable counter instead of a silent stall.
+        """
+        return {}
+
     @property
     def executed_transactions(self) -> int:
         """Executed non-no-op transactions."""

@@ -11,7 +11,7 @@ specs and renders the one-line-per-scenario summary table the CLI prints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
@@ -38,6 +38,11 @@ class ScenarioResult:
     # empty; under ScenarioSpec.strict_liveness (the default) a straggler is
     # a hard invariant violation.
     stragglers: Tuple[int, ...] = ()
+    # Liveness-machinery counters summed over replicas (deadline extensions,
+    # timeout fires, chain-sync retries/rotations, payload pulls).  Kept out
+    # of the summary digest and the row: they make wedges in this bug family
+    # observable without repinning goldens each time a counter is added.
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -91,6 +96,7 @@ class ScenarioResult:
             "violations": [v.to_json_dict() for v in self.violations],
             "checks_run": self.checks_run,
             "stragglers": list(self.stragglers),
+            "counters": dict(self.counters),
         }
 
     @classmethod
@@ -106,6 +112,8 @@ class ScenarioResult:
             ),
             checks_run=data["checks_run"],
             stragglers=tuple(data["stragglers"]),
+            # Tolerant read: cached results from before the counters existed.
+            counters=dict(data.get("counters", {})),
         )
 
 
@@ -167,6 +175,10 @@ class ScenarioRunner:
         committed = tuple(
             getattr(replica, "executed_transactions", 0) for replica in self.cluster.replicas
         )
+        counters: Dict[str, int] = {}
+        for replica in self.cluster.replicas:
+            for name, value in replica.liveness_counters().items():
+                counters[name] = counters.get(name, 0) + value
         return ScenarioResult(
             spec=self.spec,
             confirmed_transactions=result.confirmed_transactions,
@@ -175,6 +187,7 @@ class ScenarioRunner:
             violations=tuple(self.oracle.violations),
             checks_run=self.oracle.checks_run,
             stragglers=self.oracle.stragglers,
+            counters=counters,
         )
 
 

@@ -62,6 +62,7 @@ class PbftHarness:
                     on_decide=lambda instance, seq, view, digests, _r=replica: self.decisions[_r].append(
                         (seq, view, digests)
                     ),
+                    pending_requests=lambda _r=replica: len(self.batches[_r]),
                 ),
             )
 
