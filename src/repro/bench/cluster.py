@@ -1,7 +1,10 @@
 """Message-level simulated clusters.
 
 A :class:`SimulatedCluster` wires together a simulator, a network, a set of
-protocol replicas, and a set of closed-loop clients driving a YCSB workload.
+protocol replicas, and clients driving a YCSB workload — either the default
+closed-loop :class:`~repro.core.client.SpotLessClient` actors, or (when an
+``arrival=`` process or load profile is given) a single
+:class:`~repro.core.client.OpenLoopClientPool` offering load at a rate.
 It is the integration surface used by the examples, the integration tests
 and the failure/timeline experiments; the large-scale throughput figures use
 the analytical model in :mod:`repro.analysis` instead (see DESIGN.md).
@@ -10,9 +13,9 @@ the analytical model in :mod:`repro.analysis` instead (see DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.core.client import SpotLessClient
+from repro.core.client import OpenLoopClientPool, SpotLessClient
 from repro.core.config import SpotLessConfig
 from repro.core.node import SpotLessReplica
 from repro.net.sizes import MessageSizeModel
@@ -20,7 +23,55 @@ from repro.sim.engine import Simulator
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.rng import DeterministicRng
+from repro.workload.arrival import ArrivalProcess, LoadProfile
 from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+
+#: Either a stationary arrival process or a time-varying load schedule.
+ArrivalLike = Union[ArrivalProcess, LoadProfile]
+
+
+def _build_clients(
+    config: object,
+    clients: int,
+    outstanding_per_client: int,
+    simulator: Simulator,
+    network: Network,
+    workload: YcsbWorkload,
+    rng: DeterministicRng,
+    arrival: Optional[ArrivalLike],
+    simulated_users: int,
+) -> List[SpotLessClient]:
+    """Closed-loop client actors, or one open-loop pool when ``arrival`` set.
+
+    The closed-loop branch is byte-identical to the historical construction
+    (same fork names, same order), so runs without an arrival profile keep
+    their golden digests.
+    """
+    if arrival is None:
+        return [
+            SpotLessClient(
+                client_id=client_id,
+                config=config,
+                simulator=simulator,
+                network=network,
+                workload=workload,
+                outstanding=outstanding_per_client,
+                rng=rng.fork(f"client-{client_id}"),
+            )
+            for client_id in range(clients)
+        ]
+    return [
+        OpenLoopClientPool(
+            client_id=0,
+            config=config,
+            simulator=simulator,
+            network=network,
+            workload=workload,
+            arrival=arrival,
+            simulated_users=simulated_users,
+            rng=rng.fork("client-pool"),
+        )
+    ]
 
 
 @dataclass
@@ -73,8 +124,15 @@ class SimulatedCluster:
         network_config: Optional[NetworkConfig] = None,
         workload_config: Optional[YcsbConfig] = None,
         seed: int = 1,
+        arrival: Optional[ArrivalLike] = None,
+        simulated_users: int = 0,
     ) -> "SimulatedCluster":
-        """Build a SpotLess cluster with closed-loop YCSB clients."""
+        """Build a SpotLess cluster with closed-loop YCSB clients.
+
+        Passing ``arrival`` swaps the closed-loop actors for a single
+        open-loop client pool driven by that arrival process or load
+        profile (``clients``/``outstanding_per_client`` are then ignored).
+        """
         simulator = Simulator()
         metrics = MetricsRegistry()
         rng = DeterministicRng(seed)
@@ -91,18 +149,10 @@ class SimulatedCluster:
             for replica_id in config.replica_ids()
         ]
         workload = YcsbWorkload(workload_config or YcsbConfig(), rng=rng)
-        client_actors = [
-            SpotLessClient(
-                client_id=client_id,
-                config=config,
-                simulator=simulator,
-                network=network,
-                workload=workload,
-                outstanding=outstanding_per_client,
-                rng=rng.fork(f"client-{client_id}"),
-            )
-            for client_id in range(clients)
-        ]
+        client_actors = _build_clients(
+            config, clients, outstanding_per_client, simulator, network, workload, rng,
+            arrival, simulated_users,
+        )
         return SimulatedCluster(simulator, network, replicas, client_actors, metrics)
 
     @staticmethod
@@ -114,6 +164,8 @@ class SimulatedCluster:
         network_config: Optional[NetworkConfig],
         workload_config: Optional[YcsbConfig],
         seed: int,
+        arrival: Optional[ArrivalLike] = None,
+        simulated_users: int = 0,
     ) -> "SimulatedCluster":
         simulator = Simulator()
         metrics = MetricsRegistry()
@@ -131,18 +183,10 @@ class SimulatedCluster:
             for replica_id in config.replica_ids()
         ]
         workload = YcsbWorkload(workload_config or YcsbConfig(), rng=rng)
-        client_actors = [
-            SpotLessClient(
-                client_id=client_id,
-                config=config,
-                simulator=simulator,
-                network=network,
-                workload=workload,
-                outstanding=outstanding_per_client,
-                rng=rng.fork(f"client-{client_id}"),
-            )
-            for client_id in range(clients)
-        ]
+        client_actors = _build_clients(
+            config, clients, outstanding_per_client, simulator, network, workload, rng,
+            arrival, simulated_users,
+        )
         return SimulatedCluster(simulator, network, replicas, client_actors, metrics)
 
     @staticmethod
@@ -153,12 +197,15 @@ class SimulatedCluster:
         network_config: Optional[NetworkConfig] = None,
         workload_config: Optional[YcsbConfig] = None,
         seed: int = 1,
+        arrival: Optional[ArrivalLike] = None,
+        simulated_users: int = 0,
     ) -> "SimulatedCluster":
         """Build a PBFT cluster with closed-loop YCSB clients."""
         from repro.protocols.pbft import PbftReplica
 
         return SimulatedCluster._baseline(
-            PbftReplica, config, clients, outstanding_per_client, network_config, workload_config, seed
+            PbftReplica, config, clients, outstanding_per_client, network_config, workload_config,
+            seed, arrival, simulated_users,
         )
 
     @staticmethod
@@ -169,12 +216,15 @@ class SimulatedCluster:
         network_config: Optional[NetworkConfig] = None,
         workload_config: Optional[YcsbConfig] = None,
         seed: int = 1,
+        arrival: Optional[ArrivalLike] = None,
+        simulated_users: int = 0,
     ) -> "SimulatedCluster":
         """Build an RCC cluster (concurrent PBFT instances)."""
         from repro.protocols.rcc import RccReplica
 
         return SimulatedCluster._baseline(
-            RccReplica, config, clients, outstanding_per_client, network_config, workload_config, seed
+            RccReplica, config, clients, outstanding_per_client, network_config, workload_config,
+            seed, arrival, simulated_users,
         )
 
     @staticmethod
@@ -185,12 +235,15 @@ class SimulatedCluster:
         network_config: Optional[NetworkConfig] = None,
         workload_config: Optional[YcsbConfig] = None,
         seed: int = 1,
+        arrival: Optional[ArrivalLike] = None,
+        simulated_users: int = 0,
     ) -> "SimulatedCluster":
         """Build a chained HotStuff cluster."""
         from repro.protocols.hotstuff import HotStuffReplica
 
         return SimulatedCluster._baseline(
-            HotStuffReplica, config, clients, outstanding_per_client, network_config, workload_config, seed
+            HotStuffReplica, config, clients, outstanding_per_client, network_config, workload_config,
+            seed, arrival, simulated_users,
         )
 
     @staticmethod
@@ -201,12 +254,15 @@ class SimulatedCluster:
         network_config: Optional[NetworkConfig] = None,
         workload_config: Optional[YcsbConfig] = None,
         seed: int = 1,
+        arrival: Optional[ArrivalLike] = None,
+        simulated_users: int = 0,
     ) -> "SimulatedCluster":
         """Build a Narwhal-HS cluster."""
         from repro.protocols.narwhal import NarwhalHsReplica
 
         return SimulatedCluster._baseline(
-            NarwhalHsReplica, config, clients, outstanding_per_client, network_config, workload_config, seed
+            NarwhalHsReplica, config, clients, outstanding_per_client, network_config, workload_config,
+            seed, arrival, simulated_users,
         )
 
     @staticmethod
@@ -222,6 +278,8 @@ class SimulatedCluster:
         request_timeout: Optional[float] = None,
         view_change_timeout: Optional[float] = None,
         checkpoint_interval: Optional[int] = None,
+        arrival: Optional[ArrivalLike] = None,
+        simulated_users: int = 0,
     ) -> "SimulatedCluster":
         """Build a cluster for any implemented protocol by name.
 
@@ -232,6 +290,8 @@ class SimulatedCluster:
         are ignored by SpotLess, whose adaptive timers are already small.
         ``checkpoint_interval`` overrides the recovery subsystem's checkpoint
         interval K (0 disables checkpointing and state transfer).
+        ``arrival`` switches the workload from closed-loop client actors to
+        one open-loop pool driven by that arrival process or load profile.
         """
         name = protocol.lower()
         if name == "spotless":
@@ -247,6 +307,7 @@ class SimulatedCluster:
             return SimulatedCluster.spotless(
                 config, clients=clients, outstanding_per_client=outstanding_per_client,
                 network_config=network_config, seed=seed,
+                arrival=arrival, simulated_users=simulated_users,
             )
         from repro.protocols.common import BftConfig
 
@@ -275,6 +336,7 @@ class SimulatedCluster:
         return factories[name](
             config, clients=clients, outstanding_per_client=outstanding_per_client,
             network_config=network_config, seed=seed,
+            arrival=arrival, simulated_users=simulated_users,
         )
 
     @staticmethod
@@ -391,4 +453,4 @@ class SimulatedCluster:
                     raise AssertionError("replicas diverged on the executed transaction order")
 
 
-__all__ = ["ClusterResult", "SimulatedCluster"]
+__all__ = ["ArrivalLike", "ClusterResult", "SimulatedCluster"]

@@ -391,6 +391,158 @@ def single_instance_failures(
 
 
 # ----------------------------------------------------------------------
+# offered-load ramp: the open-loop simulator sweep behind Figures 7(c)/9/10
+# ----------------------------------------------------------------------
+
+def estimate_capacity(
+    protocol: str,
+    f: int = 1,
+    batch_size: int = 4,
+    seed: int = 1,
+    probe_rate: float = 25000.0,
+    probe_duration: float = 0.2,
+    probe_ceiling: float = 500000.0,
+) -> float:
+    """Saturation throughput of a 3f+1 cluster, measured by probe runs.
+
+    Drives the cluster open-loop at ``probe_rate`` and returns the measured
+    confirmation rate.  A probe the cluster keeps up with proves nothing
+    about saturation (RCC absorbs loads an order of magnitude past the other
+    protocols at this scale), so while the cluster confirms more than 70% of
+    the offered rate the probe escalates 4x, up to ``probe_ceiling``.
+    Deterministic per seed, so sweeps built on it stay reproducible.
+    """
+    from repro.bench.cluster import SimulatedCluster
+    from repro.workload.arrival import LoadProfile
+
+    rate = probe_rate
+    while True:
+        cluster = SimulatedCluster.for_protocol(
+            protocol,
+            num_replicas=3 * f + 1,
+            batch_size=batch_size,
+            seed=seed,
+            arrival=LoadProfile.constant(rate=rate, duration=probe_duration),
+        )
+        cluster.start()
+        cluster.run_additional(probe_duration)
+        measured = max(cluster.clients[0].confirmed_transactions / probe_duration, 50.0)
+        if measured < 0.7 * rate or rate >= probe_ceiling:
+            return measured
+        rate *= 4.0
+
+
+def offered_load(
+    protocols: Sequence[str] = PROTOCOLS,
+    f: int = 1,
+    batch_size: int = 4,
+    duration: float = 1.0,
+    p99_ceiling: float = 0.05,
+    seed: int = 1,
+    simulated_users: int = 1_000_000,
+    base_fraction: float = 0.4,
+    spike_factor: float = 2.0,
+) -> List[Dict[str, object]]:
+    """Throughput/latency versus offered rate, measured in the simulator.
+
+    Unlike the analytical ``throughput_latency`` sweep, this drives each
+    protocol's message-level cluster with an open-loop
+    :class:`~repro.core.client.OpenLoopClientPool` through the canonical
+    overload schedule (ramp → hold → spike past saturation → ramp down →
+    drain → recovery) and reports one row per phase: offered versus measured
+    rate, windowed p50/p99 confirmation latency, end-of-phase queue depth
+    and the p99-ceiling SLO verdict.
+
+    Rates are sized per protocol from :func:`estimate_capacity` — the five
+    protocols saturate an order of magnitude apart at this scale, so a fixed
+    rate pair cannot both push the fastest past saturation and let the
+    slowest drain its backlog.  The base rate is ``base_fraction`` of
+    capacity and the spike ``spike_factor`` times it, so every sweep shows
+    at least one operating point past saturation (SLO breach) and, after
+    the ramp-down, the recovery from it.
+
+    The SLO verdict of a phase is computed over the phase's last quarter:
+    backlogged completions from an earlier overload land early in a window
+    and would otherwise mask an already-recovered steady state.
+
+    ``simulated_users`` is descriptive scale: the pool is a single actor, so
+    modelling a million users costs the same as modelling 32.
+    """
+    from repro.bench.cluster import SimulatedCluster
+    from repro.sim.metrics import Histogram, summarize_latency
+    from repro.workload.arrival import overload_profile
+
+    rows: List[Dict[str, object]] = []
+    for protocol in protocols:
+        capacity = estimate_capacity(protocol, f=f, batch_size=batch_size, seed=seed)
+        profile = overload_profile(
+            base_rate=round(base_fraction * capacity, 1),
+            spike_rate=round(spike_factor * capacity, 1),
+            ramp=round(0.10 * duration, 6),
+            hold=round(0.10 * duration, 6),
+            spike=round(0.10 * duration, 6),
+            drain=round(0.30 * duration, 6),
+            recovery=round(0.30 * duration, 6),
+        )
+        cluster = SimulatedCluster.for_protocol(
+            protocol,
+            num_replicas=3 * f + 1,
+            batch_size=batch_size,
+            seed=seed,
+            arrival=profile,
+            simulated_users=simulated_users,
+        )
+        cluster.start()
+        pool = cluster.clients[0]
+        seen_samples = 0
+        seen_offered = 0
+        for index, (start, end, phase) in enumerate(profile.phase_windows()):
+            tail_start = end - 0.25 * phase.duration
+            cluster.run_additional(tail_start - cluster.simulator.now)
+            tail_offset = len(pool.latency.samples)
+            cluster.run_additional(end - cluster.simulator.now)
+            samples = pool.latency.samples
+            window = samples[seen_samples:]
+            tail = samples[tail_offset:]
+            seen_samples = len(samples)
+            offered_in_phase = pool.offered_transactions - seen_offered
+            seen_offered = pool.offered_transactions
+            window_duration = end - start
+            phase_histogram = Histogram(f"{protocol}-phase-{index}")
+            for value in window:
+                phase_histogram.observe(value)
+            sample = summarize_latency(phase_histogram, window_duration)
+            p99 = phase_histogram.percentile(0.99)
+            tail_p99 = _windowed_p99(tail)
+            # A wedged queue breaches the latency SLO even with no
+            # completions to show for it: the stalled requests are the tail.
+            backlog_age = pool.oldest_pending_age()
+            slo_ok = tail_p99 <= p99_ceiling and backlog_age <= p99_ceiling
+            rows.append(
+                {
+                    "protocol": protocol,
+                    "phase": f"{index}:{phase.shape}",
+                    "offered_rate": phase.rate,
+                    "measured_offered": round(offered_in_phase / window_duration, 1),
+                    "throughput_txn_s": round(sample.throughput, 1) if sample else 0.0,
+                    "p50_ms": round(phase_histogram.percentile(0.50) * 1000, 2),
+                    "p99_ms": round(p99 * 1000, 2),
+                    "queue_depth": pool.unconfirmed_count(),
+                    "slo": "ok" if slo_ok else "breach",
+                }
+            )
+    return rows
+
+
+def _windowed_p99(samples: Sequence[float]) -> float:
+    """Nearest-rank p99 of a raw sample window (0.0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, max(0, int(0.99 * len(ordered))))]
+
+
+# ----------------------------------------------------------------------
 # dispatch registry: one picklable entry point per named figure
 # ----------------------------------------------------------------------
 
@@ -413,6 +565,7 @@ FIGURE_EXPERIMENTS: Dict[str, object] = {
     "fig14b-bandwidth": network_bandwidth,
     "fig14cd-regions": geo_regions,
     "fig15-single-instance": single_instance_failures,
+    "offered-load": offered_load,
 }
 
 
@@ -442,6 +595,7 @@ __all__ = [
     "failures_ratio",
     "geo_regions",
     "network_bandwidth",
+    "offered_load",
     "parallelism",
     "run_figure",
     "scalability",

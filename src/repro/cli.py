@@ -11,7 +11,9 @@ The CLI exposes the experiment harness without writing any Python::
     python -m repro scenario --matrix smoke
     python -m repro scenario --matrix full --workers 4 --seeds 1 2 3
     python -m repro scenario --protocol rcc --fault A3 --f 1 --duration 0.5
+    python -m repro scenario --overload --protocol spotless
     python -m repro scenario --replay fuzz-failures/fuzz-1-17.json
+    python -m repro figure offered-load --protocols spotless pbft
     python -m repro fuzz --count 50 --seed 1
     python -m repro triage minimize fuzz-failures/fuzz-1-42.json --ingest
     python -m repro triage corpus --workers 4
@@ -60,6 +62,8 @@ def _figure_kwargs(name: str, args: argparse.Namespace) -> Dict[str, object]:
         kwargs["replica_counts"] = list(args.replicas)
     if name == "fig12-timeline" and args.faulty is not None:
         kwargs["faulty_replicas"] = args.faulty
+    if name == "offered-load" and args.protocols:
+        kwargs["protocols"] = list(args.protocols)
     return kwargs
 
 
@@ -159,6 +163,21 @@ FIGURES: Dict[str, Dict[str, object]] = {
         "columns": ["ratio", "protocol", "throughput_txn_s"],
         "paper": "Figure 15: single-instance SpotLess versus HotStuff under failures",
     },
+    "offered-load": {
+        "run": _figure_runner("offered-load"),
+        "columns": [
+            "protocol",
+            "phase",
+            "offered_rate",
+            "measured_offered",
+            "throughput_txn_s",
+            "p50_ms",
+            "p99_ms",
+            "queue_depth",
+            "slo",
+        ],
+        "paper": "Figures 7(c)/9/10 mechanism: open-loop offered-load sweep past saturation",
+    },
 }
 
 ABLATIONS: Dict[str, Dict[str, object]] = {
@@ -240,9 +259,9 @@ def _dispatch_named(
         return 2
     if args.name == "all":
         names = list(table)
-        if task == "figure" and (args.replicas or args.faulty is not None):
+        if task == "figure" and (args.replicas or args.faulty is not None or args.protocols):
             print(
-                "--replicas/--faulty are figure-specific; drop them with `all`",
+                "--replicas/--faulty/--protocols are figure-specific; drop them with `all`",
                 file=sys.stderr,
             )
             return 2
@@ -353,6 +372,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         FAULT_KINDS,
         PROTOCOLS,
         format_matrix,
+        overload_spec,
         scenario_matrix,
         single_fault_spec,
     )
@@ -382,6 +402,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                 ("duration", args.duration),
                 ("checkpoint-interval", args.checkpoint_interval),
                 ("lenient-liveness", args.lenient_liveness or None),
+                ("overload", args.overload or None),
             )
             if value is not None and value != []
         ]
@@ -398,6 +419,34 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             return 2
         specs = [spec]
         print(f"replaying archived scenario {spec.name!r} from {args.replay}")
+    elif args.overload:
+        # Overload is its own scenario family: open-loop load + SLO oracle,
+        # no fault events.  --fault would silently do nothing, so reject it.
+        conflicting = [
+            f"--{flag}"
+            for flag, value in (("matrix", args.matrix), ("fault", args.fault))
+            if value is not None
+        ]
+        if conflicting:
+            print(
+                f"--overload builds its own load schedule; drop {', '.join(conflicting)}",
+                file=sys.stderr,
+            )
+            return 2
+        protocols = (args.protocol,) if args.protocol is not None else PROTOCOLS
+        for protocol in protocols:
+            if protocol not in PROTOCOLS:
+                known = ", ".join(PROTOCOLS)
+                print(f"unknown protocol {protocol!r}; choose one of: {known}", file=sys.stderr)
+                return 2
+        f = args.f if args.f is not None else 1
+        overload_duration = args.duration if args.duration is not None else 1.0
+        specs = [
+            overload_spec(protocol, f=f, duration=overload_duration, seed=seed)
+            for protocol in protocols
+            for seed in seeds
+        ]
+        print(f"overload-and-recover family: {len(specs)} runs")
     elif args.matrix is not None:
         # The matrix fixes its own grid; silently ignoring the single-scenario
         # flags would let `--matrix smoke --f 2` masquerade as an f=2 run.
@@ -740,6 +789,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--replicas", type=int, nargs="*", help="replica counts (fig7a only)")
     figure_parser.add_argument("--faulty", type=int, default=None, help="failure count (fig12 only)")
     figure_parser.add_argument(
+        "--protocols", nargs="*", default=None, help="protocol subset (offered-load only)"
+    )
+    figure_parser.add_argument(
         "--workers", type=int, default=None,
         help="dispatch figures across N worker processes with the result cache",
     )
@@ -779,6 +831,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("smoke", "full"),
         default=None,
         help="run a predefined scenario matrix instead of a single scenario",
+    )
+    scenario_parser.add_argument(
+        "--overload",
+        action="store_true",
+        help="run the overload-and-recover family (open-loop load + SLO oracle) "
+        "instead of a fault scenario; --protocol narrows it to one protocol",
     )
     scenario_parser.add_argument(
         "--protocol", default=None, help="spotless, pbft, rcc, hotstuff, narwhal-hs (default: spotless)"

@@ -5,20 +5,33 @@ f + 1 identical Inform responses.  If the timer expires it retries with the
 next replica and doubles the timeout, continuing until the transaction is
 confirmed.  Because primaries rotate, a correct replica will eventually be
 the primary of the instance responsible for the transaction.
+
+Two client models live here:
+
+* :class:`SpotLessClient` — the closed-loop client: a fixed window of
+  ``outstanding`` requests, each confirmation immediately triggering the
+  next submission.  One actor per simulated client.
+* :class:`OpenLoopClientPool` — the open-loop traffic engine: one actor
+  standing in for a whole region of users, submitting transactions on an
+  arrival process (Poisson, MMPP) or a time-varying
+  :class:`~repro.workload.arrival.LoadProfile` schedule.  Offered load is a
+  rate parameter, so a cell can model millions of users without a million
+  actors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Union
 
 from repro.core.config import SpotLessConfig
 from repro.core.messages import InformMessage
 from repro.sim.actor import Actor
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.metrics import Histogram
 from repro.sim.network import Network
 from repro.sim.rng import DeterministicRng
+from repro.workload.arrival import ArrivalProcess, LoadProfile
 from repro.workload.requests import Transaction
 from repro.workload.ycsb import YcsbWorkload
 
@@ -34,6 +47,7 @@ class _PendingRequest:
     retries: int = 0
     target_replica: int = 0
     timeout: float = 1.0
+    timer: Optional[Event] = None
 
 
 class SpotLessClient(Actor):
@@ -94,11 +108,24 @@ class SpotLessClient(Actor):
         self._transmit(request)
 
     def _transmit(self, request: _PendingRequest) -> None:
-        # ResilientDB disseminates the payload to all replicas up front
-        # (Section 6.1), so the simulator broadcasts the transaction itself.
-        self.broadcast(list(self.config.replica_ids()), request.transaction, self._request_size_bytes)
+        if request.timer is not None:
+            # A retransmit supersedes the previous timeout timer; without
+            # this the old timer stays live and fires a spurious extra
+            # failover later in the run.
+            request.timer.cancel()
+        if request.retries == 0:
+            # ResilientDB disseminates the payload to all replicas up front
+            # (Section 6.1), so the first submission broadcasts the
+            # transaction itself.
+            self.broadcast(
+                list(self.config.replica_ids()), request.transaction, self._request_size_bytes
+            )
+        else:
+            # Section 5 failover: the retry goes to the rotated target
+            # replica — eventually a correct one, since primaries rotate.
+            self.send(request.target_replica, request.transaction, self._request_size_bytes)
         digest = request.transaction.digest()
-        self.call_later(request.timeout, lambda: self._on_request_timeout(digest))
+        request.timer = self.call_later(request.timeout, lambda: self._on_request_timeout(digest))
 
     def _on_request_timeout(self, digest: bytes) -> None:
         request = self._pending.get(digest)
@@ -127,8 +154,15 @@ class SpotLessClient(Actor):
             if self.record_confirmed_digests:
                 self.confirmed_digests.append(payload.transaction_digest)
             self.latency.observe(self.now - request.submitted_at)
+            if request.timer is not None:
+                request.timer.cancel()
+                request.timer = None
             del self._pending[payload.transaction_digest]
-            self._submit_new_transaction()
+            self._on_confirmed(request)
+
+    def _on_confirmed(self, request: _PendingRequest) -> None:
+        """Closed loop: a confirmation frees a window slot — refill it."""
+        self._submit_new_transaction()
 
     # ------------------------------------------------------------------
 
@@ -136,9 +170,118 @@ class SpotLessClient(Actor):
         """Requests still waiting for f + 1 Informs."""
         return len(self._pending)
 
+    def oldest_pending_age(self) -> float:
+        """Age in seconds of the oldest unconfirmed request (0.0 if none)."""
+        if not self._pending:
+            return 0.0
+        return self.now - min(request.submitted_at for request in self._pending.values())
+
     def mean_latency(self) -> float:
         """Mean confirmed-request latency in seconds."""
         return self.latency.mean()
 
 
-__all__ = ["SpotLessClient"]
+class OpenLoopClientPool(SpotLessClient):
+    """One actor driving a whole region's worth of users open-loop.
+
+    Instead of a window refilled on confirmation, transactions are submitted
+    on an arrival schedule and confirmations only retire them — latency under
+    overload therefore grows without bound, exactly the regime the
+    throughput-latency figures sweep into.
+
+    ``arrival`` is either a stationary
+    :class:`~repro.workload.arrival.ArrivalProcess` (Poisson
+    :class:`~repro.workload.arrival.OpenLoopLoad`, bursty
+    :class:`~repro.workload.arrival.MmppLoad`) sampled directly, or a
+    time-varying :class:`~repro.workload.arrival.LoadProfile` sampled by
+    thinning: candidate arrivals are drawn at the profile's peak rate and
+    accepted with probability ``rate_at(t) / peak_rate``, which realises the
+    exact inhomogeneous Poisson process of the schedule.
+
+    The arrival chain is self-scheduling — each arrival event schedules the
+    next — so at any moment a single event per pool sits in the queue no
+    matter how many simulated users the rate represents.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        config: SpotLessConfig,
+        simulator: Simulator,
+        network: Network,
+        workload: YcsbWorkload,
+        arrival: Union[ArrivalProcess, LoadProfile],
+        simulated_users: int = 0,
+        request_timeout: float = 2.0,
+        client_node_offset: Optional[int] = None,
+        rng: Optional[DeterministicRng] = None,
+    ) -> None:
+        super().__init__(
+            client_id,
+            config,
+            simulator,
+            network,
+            workload,
+            outstanding=0,
+            request_timeout=request_timeout,
+            client_node_offset=client_node_offset,
+            rng=rng,
+        )
+        self.arrival = arrival
+        # Purely descriptive: how many real users this pool stands in for.
+        self.simulated_users = simulated_users
+        self.offered_transactions = 0
+        self._thinning_rng = self.rng.fork("thinning")
+        self._profile_start = 0.0
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the arrival chain instead of filling a request window."""
+        if isinstance(self.arrival, LoadProfile):
+            self._profile_start = self.now
+            self._schedule_profile_candidate()
+        else:
+            self._schedule_process_arrival()
+
+    def _schedule_process_arrival(self) -> None:
+        step = self.arrival.inter_arrival()
+        if step <= 0.0:
+            raise ValueError(
+                f"{type(self.arrival).__name__}.inter_arrival() returned {step!r}; "
+                "open-loop arrivals must strictly advance"
+            )
+        self.call_later(step, self._fire_process_arrival)
+
+    def _fire_process_arrival(self) -> None:
+        self._submit_open_loop_transaction()
+        self._schedule_process_arrival()
+
+    def _schedule_profile_candidate(self) -> None:
+        # Thinning (Lewis-Shedler): homogeneous candidates at the peak rate,
+        # accepted at rate_at(t)/peak.  The chain ends once the schedule is
+        # exhausted; the profile quiesces to rate 0 past its last phase.
+        step = self._thinning_rng.expovariate(self.arrival.peak_rate())
+        offset = (self.now + step) - self._profile_start
+        if offset > self.arrival.duration():
+            return
+        self.call_later(step, self._fire_profile_candidate)
+
+    def _fire_profile_candidate(self) -> None:
+        offset = self.now - self._profile_start
+        rate = self.arrival.rate_at(offset)
+        if rate > 0.0 and self._thinning_rng.random() < rate / self.arrival.peak_rate():
+            self._submit_open_loop_transaction()
+        self._schedule_profile_candidate()
+
+    def _submit_open_loop_transaction(self) -> None:
+        self.offered_transactions += 1
+        self._submit_new_transaction()
+
+    # ------------------------------------------------------------------
+
+    def _on_confirmed(self, request: _PendingRequest) -> None:
+        """Open loop: confirmations retire requests, never submit new ones."""
+
+
+__all__ = ["OpenLoopClientPool", "SpotLessClient"]

@@ -11,6 +11,9 @@ from repro.scenarios.oracle import (
     InvariantOracle,
     InvariantViolation,
     ProgressSample,
+    SLO_MODES,
+    SloBreach,
+    SloSpec,
     canonical_violation_kinds,
 )
 from repro.scenarios.runner import (
@@ -28,6 +31,8 @@ from repro.scenarios.spec import (
     FaultEvent,
     ScenarioSpec,
     drop_event,
+    overload_matrix,
+    overload_spec,
     replace_event,
     scenario_matrix,
     single_fault_spec,
@@ -39,6 +44,7 @@ __all__ = [
     "ATTACK_KINDS",
     "FAULT_KINDS",
     "PROTOCOLS",
+    "SLO_MODES",
     "SPEC_FORMAT",
     "FaultEvent",
     "InvariantOracle",
@@ -47,9 +53,13 @@ __all__ = [
     "ScenarioResult",
     "ScenarioRunner",
     "ScenarioSpec",
+    "SloBreach",
+    "SloSpec",
     "canonical_violation_kinds",
     "drop_event",
     "format_matrix",
+    "overload_matrix",
+    "overload_spec",
     "replace_event",
     "run_matrix",
     "run_scenario",

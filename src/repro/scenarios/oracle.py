@@ -14,6 +14,13 @@ paper's protocols must keep even under attack:
   replicas;
 * **windowed liveness** — once every fault in the script has healed, the
   cluster resumes executing new transactions before the run ends.
+* **SLO** (optional, via :class:`SloSpec`) — windowed p50/p99 confirmation
+  latency stays under its ceilings and the total unconfirmed queue under its
+  depth bound.  Breaches are tracked as episodes (open → close), so
+  overload and recovery-from-overload are first-class: ``enforce`` mode
+  makes every episode a violation, ``expect-recovery`` mode only flags
+  episodes still open at the end of the run (the system was allowed to
+  saturate but had to drain back under its ceilings).
 
 Checks run continuously: the oracle schedules itself on the cluster's
 simulator every ``check_interval`` simulated seconds, so a transient
@@ -25,7 +32,112 @@ broken invariant at once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: SLO enforcement modes: every breach episode is a violation, or only
+#: episodes that never recover by the end of the run.
+SLO_MODES = ("enforce", "expect-recovery")
+
+
+def _windowed_percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an unsorted sample window."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Service-level objectives checked continuously by the oracle.
+
+    Ceilings are in seconds (latency) and requests (queue depth); ``None``
+    disables that check.  ``mode`` is one of :data:`SLO_MODES`.  With
+    ``require_breach`` the spec additionally *demands* that at least one
+    breach happens — an overload scenario that never saturates the system
+    proves nothing, so the missing breach is itself a violation.
+    """
+
+    p50_ceiling: Optional[float] = None
+    p99_ceiling: Optional[float] = None
+    max_queue_depth: Optional[int] = None
+    mode: str = "enforce"
+    require_breach: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in SLO_MODES:
+            raise ValueError(f"unknown SLO mode {self.mode!r}; choose one of {SLO_MODES}")
+        if self.p50_ceiling is None and self.p99_ceiling is None and self.max_queue_depth is None:
+            raise ValueError("an SLO spec must set at least one ceiling")
+        for name in ("p50_ceiling", "p99_ceiling"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (stable field order)."""
+        return {
+            "p50_ceiling": self.p50_ceiling,
+            "p99_ceiling": self.p99_ceiling,
+            "max_queue_depth": self.max_queue_depth,
+            "mode": self.mode,
+            "require_breach": self.require_breach,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "SloSpec":
+        """Rebuild a spec from :meth:`to_json_dict` output (validates)."""
+        return cls(
+            p50_ceiling=data.get("p50_ceiling"),
+            p99_ceiling=data.get("p99_ceiling"),
+            max_queue_depth=data.get("max_queue_depth"),
+            mode=data.get("mode", "enforce"),
+            require_breach=data.get("require_breach", False),
+        )
+
+
+@dataclass
+class SloBreach:
+    """One contiguous episode during which an SLO metric exceeded its ceiling.
+
+    ``ended_at`` is ``None`` while the episode is still open — i.e. the
+    system never recovered before the run ended.
+    """
+
+    metric: str
+    ceiling: float
+    started_at: float
+    ended_at: Optional[float] = None
+    peak: float = 0.0
+
+    @property
+    def recovered(self) -> bool:
+        """True once the metric dropped back under its ceiling."""
+        return self.ended_at is not None
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        return {
+            "metric": self.metric,
+            "ceiling": self.ceiling,
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
+            "peak": self.peak,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "SloBreach":
+        """Rebuild a breach from :meth:`to_json_dict` output."""
+        return cls(
+            metric=data["metric"],
+            ceiling=data["ceiling"],
+            started_at=data["started_at"],
+            ended_at=data.get("ended_at"),
+            peak=data.get("peak", 0.0),
+        )
 
 
 @dataclass(frozen=True)
@@ -84,11 +196,16 @@ class InvariantOracle:
     """
 
     def __init__(
-        self, cluster, check_interval: float = 0.05, strict_liveness: bool = False
+        self,
+        cluster,
+        check_interval: float = 0.05,
+        strict_liveness: bool = False,
+        slo: Optional[SloSpec] = None,
     ) -> None:
         self.cluster = cluster
         self.check_interval = check_interval
         self.strict_liveness = strict_liveness
+        self.slo = slo
         self.violations: List[InvariantViolation] = []
         self._recorded: Set[Tuple[str, str]] = set()
         self.samples: List[ProgressSample] = []
@@ -96,6 +213,11 @@ class InvariantOracle:
         self.checks_run = 0
         self._frontiers: Dict[int, int] = {}
         self._end_time: Optional[float] = None
+        # SLO breach episodes: closed ones accumulate in slo_breaches, at
+        # most one open episode per metric lives in _open_breaches.
+        self.slo_breaches: List[SloBreach] = []
+        self._open_breaches: Dict[str, SloBreach] = {}
+        self._latency_offsets: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # scheduling
@@ -126,6 +248,8 @@ class InvariantOracle:
         self._check_agreement()
         self._check_no_fork()
         self._check_monotonic_frontier()
+        if self.slo is not None:
+            self._check_slo()
         self._sample_progress()
 
     def _record(self, invariant: str, detail: str) -> None:
@@ -198,6 +322,81 @@ class InvariantOracle:
                 )
             self._frontiers[replica.node_id] = frontier
 
+    def _check_slo(self) -> None:
+        """Track windowed latency/queue SLOs as breach episodes.
+
+        The latency window is every confirmation observed since the previous
+        tick.  A window with *no* confirmations is not automatically healthy:
+        if requests are pending and the oldest has already waited longer than
+        the p99 ceiling, the queue is wedged and the latency SLO is breached
+        even though nothing completed to prove it.
+        """
+        now = self.cluster.simulator.now
+        window: List[float] = []
+        for client in self.cluster.clients:
+            samples = client.latency.samples
+            offset = self._latency_offsets.get(id(client), 0)
+            if len(samples) > offset:
+                window.extend(samples[offset:])
+            self._latency_offsets[id(client)] = len(samples)
+        oldest_age = max(
+            (client.oldest_pending_age() for client in self.cluster.clients), default=0.0
+        )
+        if self.slo.p50_ceiling is not None:
+            if window:
+                p50 = _windowed_percentile(window, 0.50)
+            else:
+                p50 = oldest_age if oldest_age > self.slo.p50_ceiling else 0.0
+            self._track_episode("p50", p50, self.slo.p50_ceiling, now)
+        if self.slo.p99_ceiling is not None:
+            p99 = _windowed_percentile(window, 0.99) if window else 0.0
+            # A silent window with an over-ceiling backlog counts as a
+            # breach: the stalled requests *are* the tail latency.
+            p99 = max(p99, oldest_age if oldest_age > self.slo.p99_ceiling else 0.0)
+            self._track_episode("p99", p99, self.slo.p99_ceiling, now)
+        if self.slo.max_queue_depth is not None:
+            depth = float(sum(client.unconfirmed_count() for client in self.cluster.clients))
+            self._track_episode("queue-depth", depth, float(self.slo.max_queue_depth), now)
+
+    def _track_episode(self, metric: str, value: float, ceiling: float, now: float) -> None:
+        open_breach = self._open_breaches.get(metric)
+        if value > ceiling:
+            if open_breach is None:
+                open_breach = SloBreach(metric=metric, ceiling=ceiling, started_at=now, peak=value)
+                self._open_breaches[metric] = open_breach
+                self.slo_breaches.append(open_breach)
+                if self.slo.mode == "enforce":
+                    self._record(
+                        f"slo-{metric}",
+                        f"{metric} reached {value:.4g} over ceiling {ceiling:.4g} "
+                        f"starting at {now:.3f}s",
+                    )
+            elif value > open_breach.peak:
+                open_breach.peak = value
+        elif open_breach is not None:
+            open_breach.ended_at = now
+            del self._open_breaches[metric]
+
+    def _finalize_slo(self) -> None:
+        """End-of-run SLO verdicts (mode- and require_breach-sensitive)."""
+        if self.slo is None:
+            return
+        for breach in self._open_breaches.values():
+            # Never closed: the system did not recover before the run ended.
+            if self.slo.mode == "expect-recovery":
+                self._record(
+                    "slo-recovery",
+                    f"{breach.metric} breach that started at {breach.started_at:.3f}s "
+                    f"(peak {breach.peak:.4g}, ceiling {breach.ceiling:.4g}) "
+                    "never recovered before the end of the run",
+                )
+        if self.slo.require_breach and not self.slo_breaches:
+            self._record(
+                "slo-no-breach",
+                "the scenario was expected to saturate the system but no SLO "
+                "ceiling was ever breached",
+            )
+
     def _sample_progress(self) -> None:
         per_replica = tuple(
             getattr(replica, "executed_transactions", 0) for replica in self.cluster.replicas
@@ -225,6 +424,7 @@ class InvariantOracle:
         """
         self.check_now()
         self._check_inform_durability()
+        self._finalize_slo()
         if heal_time is not None:
             self._check_windowed_liveness(heal_time)
         return self.violations
@@ -319,5 +519,8 @@ __all__ = [
     "InvariantOracle",
     "InvariantViolation",
     "ProgressSample",
+    "SLO_MODES",
+    "SloBreach",
+    "SloSpec",
     "canonical_violation_kinds",
 ]

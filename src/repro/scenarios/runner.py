@@ -19,7 +19,7 @@ from repro.bench.cluster import SimulatedCluster
 from repro.crypto.digest import digest_bytes
 from repro.faults.attacks import attack_by_name
 from repro.faults.injector import FaultInjector
-from repro.scenarios.oracle import InvariantOracle, InvariantViolation
+from repro.scenarios.oracle import InvariantOracle, InvariantViolation, SloBreach
 from repro.scenarios.spec import ATTACK_KINDS, FaultEvent, ScenarioSpec
 
 
@@ -43,6 +43,10 @@ class ScenarioResult:
     # of the summary digest and the row: they make wedges in this bug family
     # observable without repinning goldens each time a counter is added.
     counters: Dict[str, int] = field(default_factory=dict)
+    # SLO breach episodes observed by the oracle (empty without an SloSpec).
+    # Like counters, excluded from the summary digest: episode timing is an
+    # observation channel, not part of the pinned outcome.
+    slo_breaches: Tuple[SloBreach, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -97,6 +101,7 @@ class ScenarioResult:
             "checks_run": self.checks_run,
             "stragglers": list(self.stragglers),
             "counters": dict(self.counters),
+            "slo_breaches": [breach.to_json_dict() for breach in self.slo_breaches],
         }
 
     @classmethod
@@ -114,6 +119,9 @@ class ScenarioResult:
             stragglers=tuple(data["stragglers"]),
             # Tolerant read: cached results from before the counters existed.
             counters=dict(data.get("counters", {})),
+            slo_breaches=tuple(
+                SloBreach.from_json_dict(breach) for breach in data.get("slo_breaches", ())
+            ),
         )
 
 
@@ -132,6 +140,7 @@ class ScenarioRunner:
             request_timeout=spec.request_timeout,
             view_change_timeout=spec.view_change_timeout,
             checkpoint_interval=spec.checkpoint_interval,
+            arrival=spec.load,
         )
         # The inform-durability invariant audits every confirmed digest, so
         # scenario clients must record them (off by default for benchmarks).
@@ -142,6 +151,7 @@ class ScenarioRunner:
             self.cluster,
             check_interval=spec.check_interval,
             strict_liveness=spec.strict_liveness,
+            slo=spec.slo,
         )
 
     # ------------------------------------------------------------------
@@ -188,6 +198,7 @@ class ScenarioRunner:
             checks_run=self.oracle.checks_run,
             stragglers=self.oracle.stragglers,
             counters=counters,
+            slo_breaches=tuple(self.oracle.slo_breaches),
         )
 
 

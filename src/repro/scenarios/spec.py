@@ -10,12 +10,21 @@ digests of the scenario tests meaningful.
 
 The predefined matrix mirrors the paper's adversarial evaluation: every
 implemented protocol crossed with every fault family at f ∈ {1, 2}.
+
+A spec may also carry an open-loop :class:`~repro.workload.arrival.LoadProfile`
+(the workload becomes a single aggregated client pool instead of closed-loop
+actors) and an :class:`~repro.scenarios.oracle.SloSpec` (the oracle then
+checks latency/queue ceilings continuously) — together these make overload
+and recovery-from-overload a scenario family like any fault.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.scenarios.oracle import SloSpec
+from repro.workload.arrival import LoadProfile, overload_profile
 
 #: Schema version stamped into serialized specs; bump on incompatible change.
 SPEC_FORMAT = 1
@@ -114,6 +123,12 @@ class ScenarioSpec:
     # so checkpoints fire more often than the production default of 16.
     # 0 disables checkpointing and state transfer entirely.
     checkpoint_interval: int = 8
+    # Optional open-loop workload: when set, the run replaces the closed-loop
+    # client actors with one OpenLoopClientPool driving this schedule (the
+    # `clients`/`outstanding` knobs are then ignored).
+    load: Optional[LoadProfile] = None
+    # Optional SLO invariants checked continuously by the oracle.
+    slo: Optional[SloSpec] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -127,7 +142,7 @@ class ScenarioSpec:
         # silently fault a client node (ids n..n+clients-1) or nothing at
         # all, and the run would report a clean pass for an attack that was
         # never injected.  Partition groups may include client node ids.
-        nodes = range(n + self.clients)
+        nodes = range(n + self.client_nodes())
         for event in self.events:
             if event.at >= self.duration:
                 raise ValueError(f"event {event.label()} starts after the run ends")
@@ -150,12 +165,21 @@ class ScenarioSpec:
                     if node not in nodes:
                         raise ValueError(
                             f"event {event.label()} partitions node {node}, but the "
-                            f"cluster has nodes 0..{n + self.clients - 1}"
+                            f"cluster has nodes 0..{n + self.client_nodes() - 1}"
                         )
 
     def resolved_replicas(self) -> int:
         """Cluster size: explicit ``num_replicas`` or the minimal 3f + 1."""
         return self.num_replicas if self.num_replicas is not None else 3 * self.f + 1
+
+    def client_nodes(self) -> int:
+        """Number of client actors the run deploys.
+
+        An open-loop load profile aggregates the whole client population
+        into a single pool actor at node id ``n``; the closed-loop default
+        deploys ``clients`` actors at ids ``n..n+clients-1``.
+        """
+        return 1 if self.load is not None else self.clients
 
     def heal_time(self) -> Optional[float]:
         """When the last fault heals, or None if any fault persists.
@@ -174,7 +198,7 @@ class ScenarioSpec:
     def fault_label(self) -> str:
         """Label summarising the fault script (used in the summary table)."""
         if not self.events:
-            return "none"
+            return "overload" if self.load is not None else "none"
         return "+".join(event.kind for event in self.events)
 
     def to_json_dict(self) -> Dict[str, Any]:
@@ -199,8 +223,19 @@ class ScenarioSpec:
         version = data.get("format", SPEC_FORMAT)
         if version != SPEC_FORMAT:
             raise ValueError(f"unsupported ScenarioSpec format {version!r} (expected {SPEC_FORMAT})")
-        fields = {key: value for key, value in data.items() if key not in ("format", "events")}
+        fields = {
+            key: value
+            for key, value in data.items()
+            if key not in ("format", "events", "load", "slo")
+        }
         fields["events"] = tuple(FaultEvent.from_json_dict(event) for event in data.get("events", ()))
+        # Optional nested specs: absent in archives that predate them.
+        load = data.get("load")
+        if load is not None:
+            fields["load"] = LoadProfile.from_json_dict(load)
+        slo = data.get("slo")
+        if slo is not None:
+            fields["slo"] = SloSpec.from_json_dict(slo)
         return cls(**fields)
 
 
@@ -289,6 +324,84 @@ def single_fault_spec(
     )
 
 
+#: Approximate saturation throughput (txn/s) of a 3f+1 cluster at f=1 with
+#: batch size 4, measured with ``repro.bench.experiments.estimate_capacity``.
+#: The protocols sit orders of magnitude apart, so one fixed spike rate
+#: cannot both saturate RCC and let HotStuff recover — the overload specs
+#: anchor their rates to this table (base = 0.4x, spike = 2.0x capacity).
+PROTOCOL_CAPACITY: Dict[str, float] = {
+    "spotless": 2200.0,
+    "pbft": 21000.0,
+    "rcc": 84000.0,
+    "hotstuff": 560.0,
+    "narwhal-hs": 560.0,
+}
+
+
+def overload_spec(
+    protocol: str,
+    f: int = 1,
+    seed: int = 1,
+    base_rate: Optional[float] = None,
+    spike_rate: Optional[float] = None,
+    duration: float = 1.0,
+    p99_ceiling: float = 0.05,
+    max_queue_depth: int = 400,
+    batch_size: int = 4,
+) -> ScenarioSpec:
+    """The canonical overload-and-recover scenario.
+
+    Open-loop load ramps to ``base_rate``, holds, spikes to ``spike_rate``
+    (chosen far past the saturation point of a 3f+1 cluster), ramps back
+    down and holds at the base rate so the backlog can drain.  The SLO spec
+    runs in ``expect-recovery`` mode with ``require_breach``: the run fails
+    both if the spike does *not* saturate the system and if the system never
+    recovers after the spike ends.
+
+    Rates default to the :data:`PROTOCOL_CAPACITY` anchor for ``protocol``
+    (base at 40 % of capacity, spike at 2x capacity) so every protocol's
+    spec actually crosses its own saturation point.
+    """
+    capacity = PROTOCOL_CAPACITY.get(protocol, 2200.0)
+    if base_rate is None:
+        base_rate = 0.4 * capacity
+    if spike_rate is None:
+        spike_rate = 2.0 * capacity
+    profile = overload_profile(
+        base_rate=base_rate,
+        spike_rate=spike_rate,
+        ramp=round(0.10 * duration, 6),
+        hold=round(0.10 * duration, 6),
+        spike=round(0.10 * duration, 6),
+        drain=round(0.30 * duration, 6),
+        recovery=round(0.30 * duration, 6),
+    )
+    return ScenarioSpec(
+        name=f"{protocol}-overload-f{f}-s{seed}",
+        protocol=protocol,
+        f=f,
+        duration=duration,
+        seed=seed,
+        batch_size=batch_size,
+        load=profile,
+        slo=SloSpec(
+            p99_ceiling=p99_ceiling,
+            max_queue_depth=max_queue_depth,
+            mode="expect-recovery",
+            require_breach=True,
+        ),
+    )
+
+
+def overload_matrix(
+    protocols: Sequence[str] = PROTOCOLS,
+    seed: int = 1,
+    duration: float = 1.0,
+) -> List[ScenarioSpec]:
+    """Overload-and-recover across every protocol: the SLO scenario family."""
+    return [overload_spec(protocol, seed=seed, duration=duration) for protocol in protocols]
+
+
 def scenario_matrix(
     protocols: Sequence[str] = PROTOCOLS,
     faults: Sequence[str] = ("A1", "A2", "A3", "A4", "crash", "partition"),
@@ -325,6 +438,9 @@ __all__ = [
     "FaultEvent",
     "ScenarioSpec",
     "drop_event",
+    "PROTOCOL_CAPACITY",
+    "overload_matrix",
+    "overload_spec",
     "replace_event",
     "scenario_matrix",
     "single_fault_spec",

@@ -162,15 +162,21 @@ class ThroughputLatencySample:
         return (self.throughput, self.latency)
 
 
-def summarize_latency(histogram: Histogram) -> Optional[ThroughputLatencySample]:
+def summarize_latency(histogram: Histogram, duration: float) -> Optional[ThroughputLatencySample]:
     """Build a throughput/latency sample from a latency histogram.
 
-    Returns ``None`` when the histogram holds no samples (e.g. a stalled
-    protocol), so callers can distinguish "zero throughput" from "no data".
+    ``duration`` is the measurement window in seconds — throughput is
+    completions per second, not the raw sample count.  Returns ``None`` when
+    the histogram holds no samples (e.g. a stalled protocol), so callers can
+    distinguish "zero throughput" from "no data".
     """
+    if duration <= 0:
+        raise ValueError("measurement duration must be positive")
     if histogram.count == 0:
         return None
-    return ThroughputLatencySample(throughput=float(histogram.count), latency=histogram.mean())
+    return ThroughputLatencySample(
+        throughput=histogram.count / duration, latency=histogram.mean()
+    )
 
 
 __all__ = [

@@ -9,15 +9,29 @@ for f + 1 matching Informs, fail over with a doubled timeout).
 
 from repro.workload.requests import ClientRequest, Operation, Transaction
 from repro.workload.ycsb import YcsbConfig, YcsbWorkload
-from repro.workload.arrival import ArrivalProcess, ClosedLoopLoad, OpenLoopLoad
+from repro.workload.arrival import (
+    ArrivalProcess,
+    ClosedLoopLoad,
+    LoadPhase,
+    LoadProfile,
+    MmppLoad,
+    OpenLoopLoad,
+    PHASE_SHAPES,
+    overload_profile,
+)
 
 __all__ = [
     "ArrivalProcess",
     "ClientRequest",
     "ClosedLoopLoad",
+    "LoadPhase",
+    "LoadProfile",
+    "MmppLoad",
     "OpenLoopLoad",
     "Operation",
+    "PHASE_SHAPES",
     "Transaction",
     "YcsbConfig",
     "YcsbWorkload",
+    "overload_profile",
 ]

@@ -1,15 +1,28 @@
-"""Client load models.
+"""Client load models and the time-varying load DSL.
 
 The throughput-latency experiments (Figures 7(c), 9 and 10) vary "the speed
-by which each primary receives client requests" — an open-loop arrival rate —
+by which each primary receives client requests" — an open-loop offered rate —
 while the remaining experiments saturate the system with a closed loop of
 clients that always have the next request ready.
+
+Two layers live here:
+
+* **Arrival processes** — samplers of inter-arrival times: Poisson
+  (:class:`OpenLoopLoad`), bursty Markov-modulated Poisson
+  (:class:`MmppLoad`) and the degenerate closed-loop spacing
+  (:class:`ClosedLoopLoad`).
+* **The load DSL** — :class:`LoadPhase` schedules (``ramp``/``hold``/
+  ``spike``) composed into a :class:`LoadProfile`, the declarative
+  time-varying offered-rate curve the open-loop client pool
+  (:class:`repro.core.client.OpenLoopClientPool`) drives.  Profiles are
+  plain frozen data with a stable JSON form, so scenario specs embedding
+  them stay replayable byte-for-byte.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.sim.rng import DeterministicRng
 
@@ -22,10 +35,22 @@ class ArrivalProcess:
         raise NotImplementedError
 
     def arrivals(self, horizon: float) -> Iterator[float]:
-        """Arrival times up to ``horizon`` seconds."""
+        """Arrival times up to ``horizon`` seconds.
+
+        Every yielded time strictly advances: a process whose
+        ``inter_arrival`` returns a non-positive spacing would otherwise pin
+        ``time`` below the horizon and yield unboundedly, so that is an
+        error here, not an infinite loop.
+        """
         time = 0.0
         while True:
-            time += self.inter_arrival()
+            step = self.inter_arrival()
+            if step <= 0.0:
+                raise ValueError(
+                    f"{type(self).__name__}.inter_arrival() returned {step!r}; "
+                    "arrival times must strictly advance"
+                )
+            time += step
             if time > horizon:
                 return
             yield time
@@ -49,12 +74,69 @@ class OpenLoopLoad(ArrivalProcess):
 
 
 @dataclass
+class MmppLoad(ArrivalProcess):
+    """Bursty arrivals: a two-state Markov-modulated Poisson process.
+
+    The process alternates between a *calm* state emitting at ``rate_low``
+    and a *burst* state emitting at ``rate_high``; dwell times in each state
+    are exponential with the given means.  The long-run mean rate is the
+    dwell-weighted average of the two rates, so the burst knobs shape the
+    variance of the offered load without changing its average.
+    """
+
+    rate_low: float
+    rate_high: float
+    mean_dwell_low: float = 1.0
+    mean_dwell_high: float = 0.25
+    rng: Optional[DeterministicRng] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_low <= 0 or self.rate_high <= 0:
+            raise ValueError("both rates must be positive")
+        if self.mean_dwell_low <= 0 or self.mean_dwell_high <= 0:
+            raise ValueError("dwell times must be positive")
+        self.rng = (self.rng or DeterministicRng(11)).fork("mmpp")
+        self._bursting = False
+        self._dwell_left = self.rng.expovariate(1.0 / self.mean_dwell_low)
+
+    def mean_rate(self) -> float:
+        """Long-run average offered rate (dwell-weighted)."""
+        total = self.mean_dwell_low + self.mean_dwell_high
+        return (
+            self.rate_low * self.mean_dwell_low + self.rate_high * self.mean_dwell_high
+        ) / total
+
+    def inter_arrival(self) -> float:
+        """Sample the next spacing, crossing state switches as needed.
+
+        Competing exponentials: within the current state an arrival races
+        the remaining dwell time; if the dwell expires first the process
+        switches state and the race restarts with the other rate.
+        """
+        elapsed = 0.0
+        while True:
+            rate = self.rate_high if self._bursting else self.rate_low
+            to_arrival = self.rng.expovariate(rate)
+            if to_arrival < self._dwell_left:
+                self._dwell_left -= to_arrival
+                return elapsed + to_arrival
+            elapsed += self._dwell_left
+            self._bursting = not self._bursting
+            dwell = self.mean_dwell_high if self._bursting else self.mean_dwell_low
+            self._dwell_left = self.rng.expovariate(1.0 / dwell)
+
+
+@dataclass
 class ClosedLoopLoad(ArrivalProcess):
     """A fixed population of clients, each issuing the next request on reply.
 
     ``think_time`` models any client-side delay between receiving a reply and
-    issuing the next request (zero for the saturating workloads of the
-    paper).
+    issuing the next request.  At ``think_time == 0`` — the saturating
+    workloads of the paper — there *is* no arrival process: request timing is
+    driven entirely by replies, and the offered load is the concurrency
+    window :meth:`offered_concurrency`, not a rate.  :meth:`arrivals` refuses
+    that configuration explicitly instead of yielding zero-spaced arrivals
+    forever.
     """
 
     clients: int
@@ -68,11 +150,202 @@ class ClosedLoopLoad(ArrivalProcess):
 
     def inter_arrival(self) -> float:
         """Arrival spacing when all clients fire independently."""
-        return self.think_time / self.clients if self.clients else self.think_time
+        return self.think_time / self.clients
+
+    def arrivals(self, horizon: float) -> Iterator[float]:
+        if self.think_time == 0.0:
+            raise ValueError(
+                "a zero-think-time closed loop has no arrival process: request "
+                "timing is reply-driven; use offered_concurrency() slots instead"
+            )
+        return super().arrivals(horizon)
 
     def offered_concurrency(self) -> int:
         """Number of requests that can be outstanding simultaneously."""
         return self.clients
 
 
-__all__ = ["ArrivalProcess", "ClosedLoopLoad", "OpenLoopLoad"]
+# ----------------------------------------------------------------------
+# time-varying load DSL: ramp / hold / spike phases
+# ----------------------------------------------------------------------
+
+#: Phase shapes understood by :class:`LoadProfile`.
+PHASE_SHAPES = ("ramp", "hold", "spike")
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """One schedule segment of a time-varying load profile.
+
+    ``shape`` is one of :data:`PHASE_SHAPES`:
+
+    * ``ramp`` — the offered rate moves linearly from the previous phase's
+      ending rate (0 at the start of the profile) to ``rate`` over
+      ``duration`` seconds — the BRAD-style scale-up sweep;
+    * ``hold`` — the rate stays at ``rate`` for ``duration`` seconds;
+    * ``spike`` — like ``hold`` (the rate jumps immediately to ``rate``)
+      but labelled as a deliberate overload window, which the offered-load
+      experiment and the SLO oracle report per phase.
+    """
+
+    shape: str
+    rate: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.shape not in PHASE_SHAPES:
+            raise ValueError(f"unknown phase shape {self.shape!r}; choose one of {PHASE_SHAPES}")
+        if self.rate < 0:
+            raise ValueError("phase rate cannot be negative")
+        if self.duration <= 0:
+            raise ValueError("phase duration must be positive")
+
+    def label(self) -> str:
+        """Compact description, e.g. ``ramp->2000/s over 0.5s``."""
+        return f"{self.shape}->{self.rate:g}/s over {self.duration:g}s"
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """A composable time-varying offered-rate curve: a sequence of phases.
+
+    ``rate_at(t)`` is the piecewise curve the open-loop client pool samples
+    arrivals from; beyond the last phase the rate is 0 (the profile
+    quiesces, which is what lets an overload run end with a drained,
+    recovered system).
+    """
+
+    phases: Tuple[LoadPhase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a load profile needs at least one phase")
+        if all(phase.rate == 0 for phase in self.phases):
+            raise ValueError("a load profile must offer load in at least one phase")
+
+    @classmethod
+    def constant(cls, rate: float, duration: float) -> "LoadProfile":
+        """A single hold phase: the fixed-rate open-loop workload."""
+        return cls(phases=(LoadPhase(shape="hold", rate=rate, duration=duration),))
+
+    def duration(self) -> float:
+        """Total length of the schedule in seconds."""
+        return sum(phase.duration for phase in self.phases)
+
+    def peak_rate(self) -> float:
+        """Largest instantaneous rate anywhere in the schedule."""
+        return max(phase.rate for phase in self.phases)
+
+    def rate_at(self, time: float) -> float:
+        """Instantaneous offered rate at ``time`` seconds into the schedule."""
+        if time < 0:
+            return 0.0
+        start = 0.0
+        previous_rate = 0.0
+        for phase in self.phases:
+            end = start + phase.duration
+            if time < end:
+                if phase.shape == "ramp":
+                    fraction = (time - start) / phase.duration
+                    return previous_rate + (phase.rate - previous_rate) * fraction
+                return phase.rate
+            start = end
+            previous_rate = phase.rate
+        return 0.0
+
+    def phase_at(self, time: float) -> Optional[LoadPhase]:
+        """The phase covering ``time``, or None past the end of the schedule."""
+        start = 0.0
+        for phase in self.phases:
+            end = start + phase.duration
+            if time < end:
+                return phase
+            start = end
+        return None
+
+    def phase_windows(self) -> Tuple[Tuple[float, float, LoadPhase], ...]:
+        """``(start, end, phase)`` for every phase, in schedule order."""
+        windows = []
+        start = 0.0
+        for phase in self.phases:
+            end = start + phase.duration
+            windows.append((start, end, phase))
+            start = end
+        return tuple(windows)
+
+    def scaled(self, factor: float) -> "LoadProfile":
+        """The same schedule with every rate multiplied by ``factor``.
+
+        Used to split one region's offered load across several client pools
+        without changing its shape.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return LoadProfile(
+            phases=tuple(
+                LoadPhase(shape=phase.shape, rate=phase.rate * factor, duration=phase.duration)
+                for phase in self.phases
+            )
+        )
+
+    def label(self) -> str:
+        """Compact description of the whole schedule."""
+        return " + ".join(phase.label() for phase in self.phases)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (stable field order)."""
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "LoadProfile":
+        """Rebuild a profile from :meth:`to_json_dict` output (validates)."""
+        return cls(
+            phases=tuple(
+                LoadPhase(shape=item["shape"], rate=item["rate"], duration=item["duration"])
+                for item in data.get("phases", ())
+            )
+        )
+
+
+def overload_profile(
+    base_rate: float,
+    spike_rate: float,
+    ramp: float,
+    hold: float,
+    spike: float,
+    drain: float,
+    recovery: float,
+) -> LoadProfile:
+    """The canonical overload-and-recover schedule.
+
+    Ramp to ``base_rate``, hold, spike to ``spike_rate`` (past saturation),
+    ramp back down, then two more holds at the base rate: a ``drain`` window
+    in which the spike's backlog clears, and a ``recovery`` window that must
+    look steady-state again — measuring them separately is what lets the
+    offered-load sweep (and the SLO oracle) show recovery as a clean
+    operating point instead of averaging it into the drain.
+    """
+    if spike_rate <= base_rate:
+        raise ValueError("spike_rate must exceed base_rate")
+    return LoadProfile(
+        phases=(
+            LoadPhase(shape="ramp", rate=base_rate, duration=ramp),
+            LoadPhase(shape="hold", rate=base_rate, duration=hold),
+            LoadPhase(shape="spike", rate=spike_rate, duration=spike),
+            LoadPhase(shape="ramp", rate=base_rate, duration=ramp),
+            LoadPhase(shape="hold", rate=base_rate, duration=drain),
+            LoadPhase(shape="hold", rate=base_rate, duration=recovery),
+        )
+    )
+
+
+__all__ = [
+    "ArrivalProcess",
+    "ClosedLoopLoad",
+    "LoadPhase",
+    "LoadProfile",
+    "MmppLoad",
+    "OpenLoopLoad",
+    "PHASE_SHAPES",
+    "overload_profile",
+]

@@ -40,6 +40,7 @@ def test_every_figure_of_the_evaluation_has_a_cli_entry():
         "fig14b-bandwidth",
         "fig14cd-regions",
         "fig15-single-instance",
+        "offered-load",
     }
     assert expected == set(cli.FIGURES)
 
@@ -160,6 +161,26 @@ def test_scenario_workers_output_matches_serial_run(tmp_path, monkeypatch, capsy
     # A second dispatched invocation is served from the cache, same bytes.
     assert cli.main(argv + ["--workers", "2"]) == 0
     assert capsys.readouterr().out == serial
+
+
+def test_scenario_overload_rejects_fault_and_matrix_flags(capsys):
+    assert cli.main(["scenario", "--overload", "--fault", "A1"]) == 2
+    assert "--overload" in capsys.readouterr().err
+    assert cli.main(["scenario", "--overload", "--matrix", "smoke"]) == 2
+    assert "--overload" in capsys.readouterr().err
+
+
+def test_scenario_overload_runs_the_slo_family_for_one_protocol(capsys):
+    exit_code = cli.main(["scenario", "--overload", "--protocol", "spotless"])
+    output = capsys.readouterr().out
+    assert exit_code == 0
+    assert "spotless-overload-f1-s1" in output
+    assert "all 1 scenarios clean" in output
+
+
+def test_figure_all_rejects_the_protocols_flag(capsys):
+    assert cli.main(["figure", "all", "--protocols", "spotless"]) == 2
+    assert "--protocols" in capsys.readouterr().err
 
 
 def test_fuzz_command_runs_a_clean_campaign(capsys):

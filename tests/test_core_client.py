@@ -120,6 +120,48 @@ def test_timeout_triggers_failover_with_doubled_timeout():
     assert pending[0].retries == client.retransmissions
 
 
+def test_retransmission_goes_to_the_rotated_target_replica():
+    simulator, replicas, client = _setup(
+        responding_replicas=set(), outstanding=1, request_timeout=0.1
+    )
+    client.start()
+    # The initial submission broadcasts to all replicas; run long enough for
+    # exactly one failover (timeout 0.1 s, doubled to 0.2 s afterwards).
+    simulator.run_for(0.15)
+    assert client.retransmissions == 1
+    request = next(iter(client._pending.values()))
+    counts = [len(replica.received) for replica in replicas]
+    # Only the rotated failover target saw the transaction a second time.
+    assert counts[request.target_replica] == 2
+    assert sum(counts) == len(replicas) + 1
+
+
+def test_confirmation_cancels_the_timeout_timer():
+    simulator, _replicas, client = _setup(
+        responding_replicas={0, 1}, outstanding=1, request_timeout=0.05
+    )
+    client.start()
+    # Informs arrive ~1.5 ms after each submission, far inside the 50 ms
+    # timeout; a leaked timer would fire on the long-confirmed request and
+    # count a spurious retransmission.
+    simulator.run_for(1.0)
+    assert client.confirmed_transactions > 10
+    assert client.retransmissions == 0
+
+
+def test_retransmit_supersedes_the_previous_timeout_timer():
+    simulator, _replicas, client = _setup(
+        responding_replicas=set(), outstanding=1, request_timeout=0.1
+    )
+    client.start()
+    # Back-off schedule with no replies: failovers at 0.1, 0.3, 0.7 s.  If a
+    # superseded timer kept running, extra failovers would land in between.
+    simulator.run_for(0.65)
+    assert client.retransmissions == 2
+    request = next(iter(client._pending.values()))
+    assert request.timeout == pytest.approx(0.4)
+
+
 def test_every_replica_receives_the_disseminated_payload():
     simulator, replicas, client = _setup(responding_replicas={0, 1})
     client.start()

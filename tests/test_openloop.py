@@ -1,0 +1,352 @@
+"""Open-loop traffic engine tests.
+
+Covers the arrival-process layer (termination at the horizon, the
+think_time=0 closed-loop refusal), the time-varying load DSL
+(:class:`LoadPhase`/:class:`LoadProfile`), the
+:class:`OpenLoopClientPool` actor (offered rate matches the configured
+rate at a golden seed), the duration-aware latency summary, and the SLO
+oracle's breach-episode tracking through the overload scenario family.
+"""
+
+from dataclasses import replace
+from typing import List
+
+import pytest
+
+from repro.core.client import OpenLoopClientPool
+from repro.core.config import SpotLessConfig
+from repro.core.messages import InformMessage
+from repro.scenarios import (
+    ScenarioSpec,
+    SloBreach,
+    SloSpec,
+    overload_spec,
+    run_scenario,
+)
+from repro.sim.actor import Actor
+from repro.sim.engine import Simulator
+from repro.sim.metrics import Histogram, summarize_latency
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.rng import DeterministicRng
+from repro.workload.arrival import (
+    ArrivalProcess,
+    ClosedLoopLoad,
+    LoadPhase,
+    LoadProfile,
+    MmppLoad,
+    OpenLoopLoad,
+    overload_profile,
+)
+from repro.workload.requests import Transaction
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+
+
+# ---------------------------------------------------------------------------
+# arrival processes: termination and the think_time=0 refusal
+# ---------------------------------------------------------------------------
+
+
+def test_open_loop_arrivals_terminate_and_strictly_advance():
+    load = OpenLoopLoad(rate_per_second=1000.0, rng=DeterministicRng(7))
+    arrivals = list(load.arrivals(horizon=0.5))
+    assert 300 < len(arrivals) < 800
+    assert all(0 < t <= 0.5 for t in arrivals)
+    assert all(a < b for a, b in zip(arrivals, arrivals[1:]))
+
+
+def test_mmpp_arrivals_terminate_and_mean_rate_sits_between_states():
+    load = MmppLoad(rate_low=100.0, rate_high=2000.0, rng=DeterministicRng(9))
+    arrivals = list(load.arrivals(horizon=2.0))
+    assert arrivals, "a positive-rate MMPP must emit arrivals"
+    assert all(0 < t <= 2.0 for t in arrivals)
+    assert all(a < b for a, b in zip(arrivals, arrivals[1:]))
+    assert 100.0 < load.mean_rate() < 2000.0
+
+
+def test_closed_loop_with_think_time_terminates_at_the_horizon():
+    load = ClosedLoopLoad(clients=4, think_time=0.1)
+    arrivals = list(load.arrivals(horizon=1.0))
+    # Spacing is think_time / clients = 25 ms: ~40 arrivals fit in a second
+    # (float accumulation may push the last one just past the horizon).
+    assert len(arrivals) in (39, 40)
+    assert all(0 < t <= 1.0 for t in arrivals)
+    assert all(a < b for a, b in zip(arrivals, arrivals[1:]))
+
+
+def test_closed_loop_zero_think_time_refuses_an_arrival_process():
+    load = ClosedLoopLoad(clients=8, think_time=0.0)
+    with pytest.raises(ValueError, match="offered_concurrency"):
+        load.arrivals(horizon=1.0)
+    # The concurrency window remains the way to drive this configuration.
+    assert load.offered_concurrency() == 8
+
+
+def test_non_advancing_arrival_process_raises_instead_of_spinning():
+    class StuckProcess(ArrivalProcess):
+        def inter_arrival(self) -> float:
+            return 0.0
+
+    with pytest.raises(ValueError, match="strictly advance"):
+        list(StuckProcess().arrivals(horizon=1.0))
+
+
+def test_mmpp_validation():
+    with pytest.raises(ValueError):
+        MmppLoad(rate_low=0.0, rate_high=100.0)
+    with pytest.raises(ValueError):
+        MmppLoad(rate_low=100.0, rate_high=200.0, mean_dwell_low=0.0)
+
+
+# ---------------------------------------------------------------------------
+# the load DSL: phases and profiles
+# ---------------------------------------------------------------------------
+
+
+def test_load_phase_validation():
+    with pytest.raises(ValueError):
+        LoadPhase(shape="sawtooth", rate=100.0, duration=1.0)
+    with pytest.raises(ValueError):
+        LoadPhase(shape="hold", rate=-1.0, duration=1.0)
+    with pytest.raises(ValueError):
+        LoadPhase(shape="hold", rate=100.0, duration=0.0)
+
+
+def test_load_profile_requires_some_offered_load():
+    with pytest.raises(ValueError):
+        LoadProfile(phases=())
+    with pytest.raises(ValueError):
+        LoadProfile(phases=(LoadPhase(shape="hold", rate=0.0, duration=1.0),))
+
+
+def test_ramp_interpolates_from_the_previous_phase_rate():
+    profile = LoadProfile(
+        phases=(
+            LoadPhase(shape="ramp", rate=1000.0, duration=1.0),
+            LoadPhase(shape="hold", rate=1000.0, duration=1.0),
+            LoadPhase(shape="ramp", rate=200.0, duration=1.0),
+        )
+    )
+    # First ramp starts from rate 0.
+    assert profile.rate_at(0.5) == pytest.approx(500.0)
+    assert profile.rate_at(1.5) == pytest.approx(1000.0)
+    # Second ramp starts from the hold's 1000/s and descends.
+    assert profile.rate_at(2.5) == pytest.approx(600.0)
+    # The profile quiesces past its end.
+    assert profile.rate_at(3.5) == 0.0
+    assert profile.rate_at(-0.1) == 0.0
+    assert profile.duration() == pytest.approx(3.0)
+    assert profile.peak_rate() == pytest.approx(1000.0)
+
+
+def test_profile_phase_windows_partition_the_schedule():
+    profile = overload_profile(
+        base_rate=100.0, spike_rate=400.0, ramp=0.1, hold=0.1, spike=0.1, drain=0.2, recovery=0.2
+    )
+    windows = profile.phase_windows()
+    assert len(windows) == 6
+    assert windows[0][0] == 0.0
+    for (_, end_a, _), (start_b, _, _) in zip(windows, windows[1:]):
+        assert end_a == pytest.approx(start_b)
+    assert windows[-1][1] == pytest.approx(profile.duration())
+    assert profile.phase_at(0.25).shape == "spike"
+    assert profile.phase_at(profile.duration() + 1.0) is None
+
+
+def test_scaled_profile_multiplies_rates_but_keeps_the_shape():
+    profile = LoadProfile.constant(rate=500.0, duration=2.0)
+    half = profile.scaled(0.5)
+    assert half.rate_at(1.0) == pytest.approx(250.0)
+    assert half.duration() == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        profile.scaled(0.0)
+
+
+def test_overload_profile_requires_a_real_spike():
+    with pytest.raises(ValueError):
+        overload_profile(
+            base_rate=500.0, spike_rate=500.0, ramp=0.1, hold=0.1, spike=0.1, drain=0.1, recovery=0.1
+        )
+
+
+def test_load_profile_json_round_trip():
+    profile = overload_profile(
+        base_rate=880.0, spike_rate=4400.0, ramp=0.1, hold=0.1, spike=0.1, drain=0.3, recovery=0.3
+    )
+    assert LoadProfile.from_json_dict(profile.to_json_dict()) == profile
+
+
+# ---------------------------------------------------------------------------
+# duration-aware latency summaries
+# ---------------------------------------------------------------------------
+
+
+def test_summarize_latency_divides_by_the_measurement_window():
+    histogram = Histogram("latency")
+    for _ in range(100):
+        histogram.observe(0.01)
+    sample = summarize_latency(histogram, duration=2.0)
+    assert sample.throughput == pytest.approx(50.0)
+    assert sample.latency == pytest.approx(0.01)
+
+
+def test_summarize_latency_rejects_non_positive_durations():
+    histogram = Histogram("latency")
+    histogram.observe(0.01)
+    with pytest.raises(ValueError):
+        summarize_latency(histogram, duration=0.0)
+
+
+def test_summarize_latency_returns_none_without_samples():
+    assert summarize_latency(Histogram("latency"), duration=1.0) is None
+
+
+# ---------------------------------------------------------------------------
+# the open-loop client pool
+# ---------------------------------------------------------------------------
+
+
+class _EchoReplica(Actor):
+    """Answers every transaction with one Inform after a fixed delay."""
+
+    def __init__(self, node_id, simulator, network, delay=0.001):
+        super().__init__(node_id, simulator, network)
+        self.delay = delay
+        self.received: List[Transaction] = []
+
+    def on_message(self, sender, payload):
+        if not isinstance(payload, Transaction):
+            return
+        self.received.append(payload)
+        inform = InformMessage(
+            replica=self.node_id,
+            client_id=payload.client_id,
+            transaction_digest=payload.digest(),
+        )
+        self.call_later(self.delay, lambda msg=inform, target=sender: self.send(target, msg, 200))
+
+
+def _pool_setup(arrival, simulated_users=0):
+    simulator = Simulator()
+    network = Network(simulator, NetworkConfig(base_delay=0.0005, jitter=0.0))
+    config = SpotLessConfig(num_replicas=4)
+    replicas = [
+        _EchoReplica(node_id=replica_id, simulator=simulator, network=network)
+        for replica_id in range(4)
+    ]
+    workload = YcsbWorkload(YcsbConfig(record_count=1000), rng=DeterministicRng(3))
+    pool = OpenLoopClientPool(
+        client_id=0,
+        config=config,
+        simulator=simulator,
+        network=network,
+        workload=workload,
+        arrival=arrival,
+        simulated_users=simulated_users,
+        rng=DeterministicRng(5),
+    )
+    return simulator, replicas, pool
+
+
+def test_pool_offered_rate_matches_the_configured_rate_at_a_golden_seed():
+    rate = 2000.0
+    simulator, _replicas, pool = _pool_setup(
+        OpenLoopLoad(rate_per_second=rate, rng=DeterministicRng(5))
+    )
+    pool.start()
+    simulator.run_for(1.0)
+    # Poisson counting fluctuation at n=2000 is ~45; 10 % is a loose bound
+    # that still catches a rate bug (off by a factor, not by noise).
+    assert pool.offered_transactions == pytest.approx(rate, rel=0.10)
+    # All replicas answer, so the pool confirms what it offers.
+    assert pool.confirmed_transactions == pytest.approx(pool.offered_transactions, abs=20)
+
+
+def test_pool_profile_thinning_matches_the_constant_rate():
+    rate = 1500.0
+    simulator, _replicas, pool = _pool_setup(LoadProfile.constant(rate=rate, duration=1.0))
+    pool.start()
+    simulator.run_for(2.0)
+    assert pool.offered_transactions == pytest.approx(rate, rel=0.10)
+
+
+def test_pool_quiesces_after_the_profile_ends():
+    simulator, _replicas, pool = _pool_setup(LoadProfile.constant(rate=1000.0, duration=0.5))
+    pool.start()
+    simulator.run_for(0.5)
+    offered_at_end_of_schedule = pool.offered_transactions
+    simulator.run_for(1.0)
+    assert pool.offered_transactions == offered_at_end_of_schedule
+    # With the schedule over and every request answered, the queue drains.
+    assert pool.unconfirmed_count() == 0
+
+
+def test_pool_confirmations_do_not_trigger_resubmission():
+    simulator, replicas, pool = _pool_setup(LoadProfile.constant(rate=500.0, duration=0.4))
+    pool.start()
+    simulator.run_for(1.0)
+    # Closed-loop clients resubmit on confirm; the open loop must not — every
+    # transaction a replica saw was offered by the arrival schedule.
+    digests_seen = {t.digest() for t in replicas[0].received}
+    assert len(digests_seen) == pool.offered_transactions
+
+
+def test_pool_simulated_users_is_descriptive_not_structural():
+    simulator, _replicas, pool = _pool_setup(
+        OpenLoopLoad(rate_per_second=200.0, rng=DeterministicRng(5)),
+        simulated_users=1_000_000,
+    )
+    pool.start()
+    simulator.run_for(0.5)
+    assert pool.simulated_users == 1_000_000
+    # One self-scheduling arrival chain: events stay O(arrivals), not O(users).
+    assert pool.offered_transactions < 1000
+
+
+# ---------------------------------------------------------------------------
+# the SLO oracle through the overload scenario family
+# ---------------------------------------------------------------------------
+
+
+def test_overload_scenario_breaches_the_slo_and_recovers():
+    result = run_scenario(overload_spec("spotless", duration=1.0))
+    assert result.violations == ()
+    assert result.slo_breaches, "the spike must trip at least one SLO episode"
+    assert all(breach.recovered for breach in result.slo_breaches)
+    spike_start = result.spec.load.phase_windows()[2][0]
+    assert any(breach.started_at >= spike_start for breach in result.slo_breaches)
+
+
+def test_enforce_mode_turns_every_breach_episode_into_a_violation():
+    spec = overload_spec("spotless", duration=1.0)
+    spec = replace(spec, slo=replace(spec.slo, mode="enforce"))
+    result = run_scenario(spec)
+    slo_violations = [v for v in result.violations if v.invariant.startswith("slo-")]
+    assert slo_violations, "enforce mode must flag the spike-induced breach"
+
+
+def test_require_breach_flags_a_run_that_never_saturates():
+    # 2 % / 4 % of spotless capacity: the "spike" is far below saturation.
+    spec = overload_spec("spotless", base_rate=40.0, spike_rate=90.0, duration=1.0)
+    result = run_scenario(spec)
+    assert [v.invariant for v in result.violations] == ["slo-no-breach"]
+    assert result.slo_breaches == ()
+
+
+def test_slo_spec_and_breach_json_round_trip():
+    slo = SloSpec(p99_ceiling=0.05, max_queue_depth=400, mode="expect-recovery", require_breach=True)
+    assert SloSpec.from_json_dict(slo.to_json_dict()) == slo
+    breach = SloBreach(metric="p99", ceiling=0.05, started_at=0.3, ended_at=0.7, peak=0.12)
+    assert SloBreach.from_json_dict(breach.to_json_dict()) == breach
+    with pytest.raises(ValueError):
+        SloSpec(mode="enforce")  # no ceiling at all
+    with pytest.raises(ValueError):
+        SloSpec(p99_ceiling=0.05, mode="sometimes")
+
+
+def test_overload_spec_json_round_trip_preserves_load_and_slo():
+    spec = overload_spec("pbft", duration=1.0)
+    rebuilt = ScenarioSpec.from_json_dict(spec.to_json_dict())
+    assert rebuilt == spec
+    assert rebuilt.load == spec.load
+    assert rebuilt.slo == spec.slo
+    assert rebuilt.fault_label() == "overload"
