@@ -358,6 +358,41 @@ class SimulatedCluster:
         return SimulatedCluster(simulator, network, replicas, client_actors, metrics)
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_tracer(self, tracer, telemetry_interval: Optional[float] = None):
+        """Attach a flight-recorder tracer to every component of the cluster.
+
+        Registers one track per replica and client, wires the network's
+        send→deliver flow edges, propagates the tracer into each replica's
+        protocol sub-components, and (when ``telemetry_interval`` is given)
+        starts a :class:`~repro.obs.tracer.TelemetrySampler` recording
+        per-replica commit-frontier / view / queue-depth time series.
+
+        Returns the sampler (or ``None`` when no interval was given).
+        """
+        for replica in self.replicas:
+            tracer.register_track(replica.node_id, f"replica-{replica.node_id}")
+        for client in self.clients:
+            tracer.register_track(client.node_id, f"client-{client.client_id}")
+        self.network.tracer = tracer
+        for replica in self.replicas:
+            if hasattr(replica, "attach_tracer"):
+                replica.attach_tracer(tracer)
+            else:
+                replica.tracer = tracer
+        for client in self.clients:
+            client.tracer = tracer
+        if telemetry_interval is None:
+            return None
+        from repro.obs.tracer import TelemetrySampler
+
+        sampler = TelemetrySampler(self, tracer, interval=telemetry_interval)
+        sampler.start()
+        return sampler
+
+    # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
 

@@ -13,6 +13,8 @@ The CLI exposes the experiment harness without writing any Python::
     python -m repro scenario --protocol rcc --fault A3 --f 1 --duration 0.5
     python -m repro scenario --overload --protocol spotless
     python -m repro scenario --replay fuzz-failures/fuzz-1-17.json
+    python -m repro scenario --protocol pbft --fault crash --counters
+    python -m repro trace fuzz-1-42-min --output trace.json
     python -m repro figure offered-load --protocols spotless pbft
     python -m repro fuzz --count 50 --seed 1
     python -m repro triage minimize fuzz-failures/fuzz-1-42.json --ingest
@@ -324,7 +326,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def _run_specs(
-    specs: List[object], args: argparse.Namespace, use_cache: bool = True
+    specs: List[object],
+    args: argparse.Namespace,
+    use_cache: bool = True,
+    flight: bool = False,
 ) -> List[object]:
     """Run scenario specs serially or through the dispatcher (``--workers``).
 
@@ -338,12 +343,12 @@ def _run_specs(
     from repro.scenarios import run_matrix
 
     if args.workers is None:
-        return run_matrix(specs)
+        return run_matrix(specs, flight=flight)
     from repro.dispatch import Dispatcher, ResultCache
 
     cache = None if (args.no_cache or not use_cache) else ResultCache()
     dispatcher = Dispatcher(workers=args.workers, cache=cache)
-    results = run_matrix(specs, dispatcher=dispatcher)
+    results = run_matrix(specs, dispatcher=dispatcher, flight=flight)
     print(f"dispatch: {dispatcher.last_stats.summary()}", file=sys.stderr)
     return results
 
@@ -363,6 +368,47 @@ def _load_replay_spec(path: str):
     if "spec" in data and isinstance(data["spec"], dict):
         data = data["spec"]
     return ScenarioSpec.from_json_dict(data)
+
+
+def _print_counters(results: List[object], per_replica: bool = False) -> None:
+    """Human-readable liveness-counter summary below the matrix table.
+
+    The aggregate line surfaces :attr:`ScenarioResult.counters` for every
+    result that recorded any; ``per_replica`` expands each scenario into one
+    line per replica from ``counters_per_replica``.
+    """
+    shown_header = False
+    for result in results:
+        if not result.counters:
+            continue
+        if not shown_header:
+            print("\nliveness counters (summed over replicas):")
+            shown_header = True
+        rendered = " ".join(
+            f"{name}={value}" for name, value in sorted(result.counters.items())
+        )
+        print(f"  {result.spec.name}: {rendered}")
+        if per_replica:
+            for replica_id, counters in enumerate(result.counters_per_replica):
+                row = " ".join(f"{name}={value}" for name, value in sorted(counters.items()))
+                print(f"    r{replica_id}: {row}")
+
+
+def _archive_flight_dumps(results: List[object], archive_dir: Path) -> None:
+    """Write the flight-recorder dump of every violating result to disk."""
+    for result in results:
+        if not result.violations or result.trace_dump is None:
+            continue
+        archive_dir.mkdir(parents=True, exist_ok=True)
+        path = archive_dir / f"{result.spec.name}-flight.json"
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(result.trace_dump, handle, sort_keys=True)
+        dump = result.trace_dump
+        print(
+            f"  flight recorder: {len(dump['records'])} trailing records -> {path} "
+            f"(render with `repro trace --from-dump {path}`)",
+            file=sys.stderr,
+        )
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
@@ -487,15 +533,44 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         overrides["strict_liveness"] = False
     if overrides:
         specs = [replace(spec, **overrides) for spec in specs]
-    # A replay must actually re-run the simulation — a cache hit would
-    # "reproduce" the archived violation without executing anything.
-    results = _run_specs(specs, args, use_cache=args.replay is None)
+    if args.trace is not None:
+        if len(specs) != 1:
+            print(
+                f"--trace records one scenario, got {len(specs)}; narrow the selection",
+                file=sys.stderr,
+            )
+            return 2
+        if args.workers is not None:
+            print("--trace runs in-process; drop --workers", file=sys.stderr)
+            return 2
+        from repro.obs import Tracer, write_chrome_trace
+        from repro.scenarios.runner import ScenarioRunner
+
+        runner = ScenarioRunner(specs[0])
+        tracer = Tracer(runner.cluster.simulator, capacity=None)
+        runner.tracer = tracer
+        runner.cluster.attach_tracer(tracer, telemetry_interval=specs[0].check_interval)
+        results: List[object] = [runner.run()]
+        counts = write_chrome_trace(tracer.dump(), args.trace)
+        print(
+            f"wrote {args.trace}: {sum(counts.values())} trace events "
+            f"(open in https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    else:
+        # A replay must actually re-run the simulation — a cache hit would
+        # "reproduce" the archived violation without executing anything.
+        results = _run_specs(
+            specs, args, use_cache=args.replay is None, flight=not args.no_flight
+        )
     print(format_matrix(results))
+    _print_counters(results, per_replica=args.counters)
     violations = [v for result in results for v in result.violations]
     if violations:
         print(f"\n{len(violations)} invariant violation(s):", file=sys.stderr)
         for violation in violations:
             print(f"  {violation}", file=sys.stderr)
+        _archive_flight_dumps(results, Path(args.archive_dir))
         return 1
     print(f"\ninvariant oracle: all {len(results)} scenarios clean")
     return 0
@@ -570,7 +645,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         return 2
     specs = fuzz_matrix(args.count, seed=args.seed, duration=args.duration)
     print(f"fuzz campaign: {len(specs)} randomized multi-fault scenarios (seed {args.seed})")
-    results = _run_specs(specs, args)
+    results = _run_specs(specs, args, flight=not args.no_flight)
     print(format_matrix(results))
     failures = [result for result in results if result.violations]
     if failures:
@@ -582,6 +657,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 "spec": result.spec.to_json_dict(),
                 "violations": [v.to_json_dict() for v in result.violations],
             }
+            if result.trace_dump is not None:
+                # The flight recorder's trailing window rides along in the
+                # archive, so the failure's last moments are inspectable
+                # (`repro trace --from-dump`) even after the bug is fixed.
+                archive["trace"] = result.trace_dump
             path = archive_dir / f"{result.spec.name}.json"
             with path.open("w", encoding="utf-8") as handle:
                 json.dump(archive, handle, indent=2, sort_keys=True)
@@ -744,6 +824,102 @@ def _cmd_triage(args: argparse.Namespace) -> int:
     return handler(args)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Record one scenario with a full tracer and export a Perfetto trace."""
+    from repro.obs import (
+        Tracer,
+        timeseries_json,
+        write_chrome_trace,
+        write_timeseries_csv,
+    )
+
+    if args.from_dump is not None:
+        # Render an archived flight-recorder dump (a fuzz archive's "trace"
+        # key or a standalone *-flight.json) without re-running anything.
+        if args.target is not None:
+            print("--from-dump renders an archived dump; drop the spec target", file=sys.stderr)
+            return 2
+        try:
+            with open(args.from_dump, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"cannot read {args.from_dump!r}: {error}", file=sys.stderr)
+            return 2
+        dump = data.get("trace") if isinstance(data, dict) and "records" not in data else data
+        if not isinstance(dump, dict) or "records" not in dump:
+            print(f"{args.from_dump!r} holds no flight-recorder dump", file=sys.stderr)
+            return 2
+        counts = write_chrome_trace(dump, args.output)
+        print(
+            f"wrote {args.output}: {sum(counts.values())} trace events from the archived "
+            f"dump ({dump.get('dropped_records', 0)} older records were evicted from the ring)"
+        )
+        print("open it in https://ui.perfetto.dev or chrome://tracing")
+        return 0
+
+    if args.target is None:
+        print("usage: repro trace SPEC_OR_CORPUS_ENTRY [--output trace.json]", file=sys.stderr)
+        return 2
+    path = Path(args.target)
+    if not path.exists():
+        candidate = Path(args.corpus_dir) / f"{args.target}.json"
+        if not candidate.exists():
+            print(
+                f"no spec file {args.target!r} (also tried corpus entry {candidate})",
+                file=sys.stderr,
+            )
+            return 2
+        path = candidate
+    try:
+        spec = _load_replay_spec(str(path))
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"cannot load {path}: {error}", file=sys.stderr)
+        return 2
+
+    from repro.scenarios.runner import ScenarioRunner
+
+    runner = ScenarioRunner(spec)
+    # Unbounded capture: `repro trace` exists to look at the whole run, not
+    # just the flight recorder's trailing window.
+    tracer = Tracer(runner.cluster.simulator, capacity=None)
+    runner.tracer = tracer
+    interval = args.telemetry_interval if args.telemetry_interval is not None else spec.check_interval
+    runner.cluster.attach_tracer(tracer, telemetry_interval=interval)
+    print(
+        f"tracing scenario {spec.name!r}: protocol {spec.protocol}, "
+        f"fault {spec.fault_label()}, seed {spec.seed}, {spec.duration:g}s"
+    )
+    result = runner.run()
+    counts = write_chrome_trace(tracer.dump(), args.output)
+    summary = tracer.summary()
+    print(
+        f"wrote {args.output}: {sum(counts.values())} trace events, "
+        f"{summary['open_spans']} span(s) still open at the end"
+    )
+    if summary["span_categories"]:
+        rendered = ", ".join(
+            f"{name} x{count}" for name, count in summary["span_categories"].items()
+        )
+        print(f"  span categories: {rendered}")
+    print(f"  tracks: {', '.join(summary['tracks'])}")
+    print("  open it in https://ui.perfetto.dev or chrome://tracing")
+    if args.timeseries is not None:
+        series = list(runner.cluster.metrics.series())
+        if args.timeseries.endswith(".json"):
+            with open(args.timeseries, "w", encoding="utf-8") as handle:
+                json.dump(timeseries_json(series), handle, indent=2, sort_keys=True)
+            rows = sum(len(item.buckets()) for item in series)
+        else:
+            rows = write_timeseries_csv(series, args.timeseries)
+        print(f"wrote {args.timeseries}: {rows} telemetry samples")
+    if result.violations:
+        print(f"\n{len(result.violations)} invariant violation(s) in the traced run:", file=sys.stderr)
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.bench import perf
 
@@ -886,6 +1062,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report post-heal stragglers as a column instead of failing the run",
     )
+    scenario_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record the (single) scenario with a full tracer and write Perfetto "
+        "trace JSON here (see also `repro trace`)",
+    )
+    scenario_parser.add_argument(
+        "--counters",
+        action="store_true",
+        help="expand the liveness-counter summary into a per-replica breakdown",
+    )
+    scenario_parser.add_argument(
+        "--no-flight",
+        action="store_true",
+        help="disable the flight recorder (on by default; violations then archive "
+        "no trailing trace window)",
+    )
+    scenario_parser.add_argument(
+        "--archive-dir",
+        default="fuzz-failures",
+        help="directory that receives *-flight.json dumps of violating runs",
+    )
     scenario_parser.set_defaults(handler=_cmd_scenario)
 
     fuzz_parser = subparsers.add_parser(
@@ -921,7 +1120,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CORPUS_DIR,
         help="regression corpus directory that minimized findings are pinned into",
     )
+    fuzz_parser.add_argument(
+        "--no-flight",
+        action="store_true",
+        help="disable the flight recorder (failing cells then archive no trace window)",
+    )
     fuzz_parser.set_defaults(handler=_cmd_fuzz)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="record one scenario with the tracer and export a Perfetto timeline",
+    )
+    trace_parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="spec JSON path (bare spec or fuzz archive) or bare corpus entry name",
+    )
+    trace_parser.add_argument(
+        "--output",
+        default="trace.json",
+        metavar="FILE",
+        help="Chrome trace-event JSON output path (default: trace.json)",
+    )
+    trace_parser.add_argument(
+        "--timeseries",
+        default=None,
+        metavar="FILE",
+        help="also export the sampled telemetry (CSV, or JSON when FILE ends in .json)",
+    )
+    trace_parser.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=None,
+        help="telemetry sampling interval in simulated seconds "
+        "(default: the spec's check interval)",
+    )
+    trace_parser.add_argument(
+        "--corpus-dir",
+        default=DEFAULT_CORPUS_DIR,
+        help="corpus directory searched when the target is a bare entry name",
+    )
+    trace_parser.add_argument(
+        "--from-dump",
+        default=None,
+        metavar="FILE",
+        help="render an archived flight-recorder dump (fuzz archive or *-flight.json) "
+        "instead of running a scenario",
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     triage_parser = subparsers.add_parser(
         "triage",

@@ -125,6 +125,14 @@ class SpotLessClient(Actor):
             # replica — eventually a correct one, since primaries rotate.
             self.send(request.target_replica, request.transaction, self._request_size_bytes)
         digest = request.transaction.digest()
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.node_id,
+                "lifecycle",
+                "submit" if request.retries == 0 else "retransmit",
+                target=request.target_replica,
+                retries=request.retries,
+            )
         request.timer = self.call_later(request.timeout, lambda: self._on_request_timeout(digest))
 
     def _on_request_timeout(self, digest: bytes) -> None:
@@ -154,6 +162,14 @@ class SpotLessClient(Actor):
             if self.record_confirmed_digests:
                 self.confirmed_digests.append(payload.transaction_digest)
             self.latency.observe(self.now - request.submitted_at)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    self.node_id,
+                    "lifecycle",
+                    "confirm",
+                    latency=self.now - request.submitted_at,
+                    retries=request.retries,
+                )
             if request.timer is not None:
                 request.timer.cancel()
                 request.timer = None

@@ -284,6 +284,15 @@ class SpotLessReplica(ReplicaRuntime):
         self._frontier_cache.pop(instance_id, None)
         self._max_committed_view[instance_id] = max(self._max_committed_view[instance_id], proposal.view)
         self.commit_log.append(record)
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.node_id,
+                "consensus",
+                "decide",
+                view=proposal.view,
+                instance=instance_id,
+                batch=len(transactions),
+            )
         self._advance_execution()
 
     def _instance_execution_frontier(self, instance_id: int) -> int:
@@ -383,6 +392,14 @@ class SpotLessReplica(ReplicaRuntime):
                 resolved.append((record, transactions))
             for record, transactions in resolved:
                 self.pipeline.execute(transactions, view=record.view, instance=record.instance)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    self.node_id,
+                    "lifecycle",
+                    "execute-view",
+                    view=view,
+                    records=len(resolved),
+                )
             self._next_execution_view += 1
             if self.checkpoints.enabled:
                 self._fold_executed_view(view, resolved)

@@ -68,17 +68,34 @@ def task_names() -> List[str]:
 # ----------------------------------------------------------------------
 
 
-def _run_scenario_cell(spec) -> Any:
+def _run_scenario_cell(payload) -> Any:
     # Imported lazily: worker processes resolve this function by module
     # path, and the scenarios package must not be a hard import cost for
     # callers that only dispatch bench cells.
     from repro.scenarios.runner import run_scenario
+    from repro.scenarios.spec import ScenarioSpec
 
-    return run_scenario(spec)
+    # A bare spec is the historical payload; ``{"spec": ..., "flight": bool}``
+    # additionally attaches the flight recorder so violating cells carry a
+    # trace dump back from the worker.
+    if isinstance(payload, dict):
+        spec = payload["spec"]
+        if isinstance(spec, dict):
+            spec = ScenarioSpec.from_json_dict(spec)
+        return run_scenario(spec, flight=bool(payload.get("flight", False)))
+    return run_scenario(payload)
 
 
-def _scenario_payload_json(spec) -> Dict[str, Any]:
-    return spec.to_json_dict()
+def _scenario_payload_json(payload) -> Dict[str, Any]:
+    # Untraced cells keep the bare-spec content address, so enabling the
+    # flight recorder elsewhere never invalidates their cached results.
+    if isinstance(payload, dict):
+        spec = payload["spec"]
+        spec_json = spec if isinstance(spec, dict) else spec.to_json_dict()
+        if payload.get("flight"):
+            return {"spec": spec_json, "flight": True}
+        return spec_json
+    return payload.to_json_dict()
 
 
 def _scenario_encode(result) -> Any:

@@ -119,6 +119,9 @@ class HotStuffReplica(BftReplicaBase):
         # Node digest currently being payload-pulled: its position is
         # committed but some transaction body never reached this replica.
         self._payload_pull_digest: Optional[bytes] = None
+        # Open chain-sync episode span (one per replica; see obs/tracer.py
+        # non-overlap convention: at most one open span per (track, category)).
+        self._sync_span: Optional[int] = None
         self.view_timeouts = 0
         self.proposals_made = 0
         self.chain_syncs_requested = 0
@@ -162,6 +165,10 @@ class HotStuffReplica(BftReplicaBase):
         if view != self.view:
             return
         self.view_timeouts += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.node_id, "view-change", f"view-timeout v{view}", view=view
+            )
         self._enter_view(view + 1)
         new_view = HsNewView(view=self.view, high_qc=self.high_qc)
         leader = self.leader_of(self.view)
@@ -201,6 +208,10 @@ class HotStuffReplica(BftReplicaBase):
         )
         self._proposed_in_view.add(view)
         self.proposals_made += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.node_id, "consensus", "propose", view=view, batch=len(batch)
+            )
         self.broadcast_protocol(proposal, self._size_of(proposal))
 
     def on_request_arrival(self) -> None:
@@ -438,6 +449,14 @@ class HotStuffReplica(BftReplicaBase):
         self._sync_last_target[node_digest] = target
         self._outstanding_syncs.add(node_digest)
         self.chain_syncs_requested += 1
+        if self.tracer is not None and self._sync_span is None:
+            self._sync_span = self.tracer.begin(
+                self.node_id,
+                "chain-sync",
+                f"chain-sync v{self.view}",
+                view=self.view,
+                target=target,
+            )
         request = HsChainRequest(node_digest=node_digest)
         self.send(target, request, self._size_of(request))
         self._arm_sync_retry()
@@ -479,6 +498,13 @@ class HotStuffReplica(BftReplicaBase):
             self._sync_retry_timer.cancel()
             self._sync_retry_timer = None
         self._sync_retry_armed = False
+        if self.tracer is not None and self._sync_span is not None:
+            self.tracer.end(
+                self._sync_span,
+                requested=self.chain_syncs_requested,
+                retries=self.chain_sync_retries,
+            )
+            self._sync_span = None
 
     def _payload_stalled(self) -> bool:
         """True when commits outran execution: a committed payload is missing."""
@@ -533,6 +559,10 @@ class HotStuffReplica(BftReplicaBase):
             return  # a pull is in flight; the retry timer rotates targets
         self._payload_pull_digest = digest
         self.payload_pulls += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.node_id, "chain-sync", "payload-pull", position=position
+            )
         self._chain_requested[digest] = self.view  # admit the response
         request = HsChainRequest(node_digest=digest, want_payloads=True)
         self.send(self._next_rotated_target(digest), request, self._size_of(request))

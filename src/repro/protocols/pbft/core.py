@@ -122,6 +122,13 @@ class PbftInstanceCore:
         self._deadline_frontier = -1
         self._view_change_timer: Optional[object] = None
 
+        # Observability (repro.obs.Tracer); the owning replica propagates its
+        # tracer here.  The two episode spans a core can have open at once:
+        # the armed progress deadline and an in-flight view-change attempt.
+        self.tracer = None
+        self._progress_span: Optional[int] = None
+        self._vc_span: Optional[int] = None
+
         # Stable checkpoint floor: every sequence below it is quorum-attested
         # executed (recoverable via state transfer), so its per-slot state is
         # garbage-collected and view-change votes reference the floor instead
@@ -208,6 +215,16 @@ class PbftInstanceCore:
             )
             self.next_sequence += 1
             self.preprepares_sent += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    self.env.replica_id,
+                    "consensus",
+                    "propose",
+                    instance=self.instance_id,
+                    sequence=message.sequence,
+                    view=self.view,
+                    batch=len(batch),
+                )
             self.env.broadcast(message)
 
     # ------------------------------------------------------------------
@@ -266,6 +283,15 @@ class PbftInstanceCore:
         self.views_adopted += 1
         self._cancel_progress_timer()
         self._cancel_view_change_timer()
+        if self.tracer is not None:
+            self.tracer.end(self._vc_span, entered_view=target, adopted=True)
+            self._vc_span = None
+            self.tracer.instant(
+                self.env.replica_id,
+                "view-change",
+                f"view-adopted i{self.instance_id} v{target}",
+                view=target,
+            )
         self._view_change_votes = {
             v: votes for v, votes in self._view_change_votes.items() if v > self.view
         }
@@ -380,6 +406,15 @@ class PbftInstanceCore:
             self.decided_frontier += 1
         if self.decided_frontier > frontier_before:
             self._note_frontier_progress()
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.env.replica_id,
+                "consensus",
+                "decide",
+                instance=self.instance_id,
+                sequence=slot.sequence,
+                view=slot.view,
+            )
         self.env.on_decide(self.instance_id, slot.sequence, slot.view, slot.digests)
         self.try_propose()
 
@@ -411,12 +446,22 @@ class PbftInstanceCore:
             self.config.request_timeout,
             self._on_progress_timeout,
         )
+        if self.tracer is not None:
+            self._progress_span = self.tracer.begin(
+                self.env.replica_id,
+                "progress-deadline",
+                f"progress i{self.instance_id} v{self.view}",
+                frontier=self.decided_frontier,
+            )
 
     def _cancel_progress_timer(self) -> None:
         if self._progress_timer is not None:
             self.env.cancel_timer(self._progress_timer)
             self._progress_timer = None
         self._progress_deadline_armed = False
+        if self.tracer is not None and self._progress_span is not None:
+            self.tracer.end(self._progress_span, fired=False)
+            self._progress_span = None
 
     def _awaiting_progress(self) -> bool:
         """True while the primary owes this replica commits.
@@ -446,6 +491,9 @@ class PbftInstanceCore:
     def _on_progress_timeout(self) -> None:
         self._progress_timer = None
         self._progress_deadline_armed = False
+        if self.tracer is not None and self._progress_span is not None:
+            self.tracer.end(self._progress_span, fired=True)
+            self._progress_span = None
         if not self.active:
             return
         if not self._awaiting_progress():
@@ -458,6 +506,13 @@ class PbftInstanceCore:
             self.arm_progress_timer()
             return
         self.progress_timeout_fires += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.env.replica_id,
+                "progress-deadline",
+                f"progress-timeout i{self.instance_id} v{self.view}",
+                frontier=self.decided_frontier,
+            )
         self.request_view_change(self.view + 1)
 
     def request_view_change(self, new_view: int) -> None:
@@ -493,6 +548,17 @@ class PbftInstanceCore:
             checkpoint_floor=self.checkpoint_floor,
             checkpoint=self.stable_checkpoint,
         )
+        if self.tracer is not None:
+            # A re-request for a higher view supersedes the open episode.
+            if self._vc_span is not None:
+                self.tracer.end(self._vc_span, superseded=True)
+            self._vc_span = self.tracer.begin(
+                self.env.replica_id,
+                "view-change",
+                f"view-change i{self.instance_id} v{self.view}->v{new_view}",
+                from_view=self.view,
+                to_view=new_view,
+            )
         self.env.broadcast(message)
         self._arm_view_change_escalation(new_view)
 
@@ -653,6 +719,16 @@ class PbftInstanceCore:
         self.view_changes += 1
         self._cancel_progress_timer()
         self._cancel_view_change_timer()
+        if self.tracer is not None:
+            self.tracer.end(self._vc_span, entered_view=self.view)
+            self._vc_span = None
+            self.tracer.instant(
+                self.env.replica_id,
+                "view-change",
+                f"new-view i{self.instance_id} v{self.view}",
+                view=self.view,
+                primary=sender,
+            )
         self._view_change_votes = {v: votes for v, votes in self._view_change_votes.items() if v > self.view}
         for sequence, digests in message.reproposals:
             slot = self._slot(sequence, self.view)

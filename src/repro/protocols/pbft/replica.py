@@ -79,6 +79,10 @@ class PbftReplica(BftReplicaBase):
 
     # ------------------------------------------------------------------
 
+    def _on_tracer_attached(self) -> None:
+        """Propagate the tracer into the consensus core."""
+        self.core.tracer = self.tracer
+
     def start(self) -> None:
         """Start the consensus core."""
         self.core.start()

@@ -129,6 +129,11 @@ class RccReplica(BftReplicaBase):
     def _broadcast_core(self, message: Message) -> None:
         self.broadcast_protocol(message, self._size_of(message))
 
+    def _on_tracer_attached(self) -> None:
+        """Propagate the tracer into every instance core."""
+        for core in self.cores.values():
+            core.tracer = self.tracer
+
     def start(self) -> None:
         """Start every instance core."""
         for core in self.cores.values():

@@ -150,6 +150,27 @@ class ReplicaRuntime(Actor):
             StateResponse: self._on_state_response,
         }
 
+        # Open state-transfer episode span (repro.obs), None while idle.
+        self._st_span: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_tracer(self, tracer: object) -> None:
+        """Attach a :class:`repro.obs.Tracer` to this replica.
+
+        Sets the single guard attribute every instrumentation point checks
+        and gives protocol subclasses a hook (:meth:`_on_tracer_attached`)
+        to propagate the tracer into non-actor state machines (the PBFT
+        instance cores).
+        """
+        self.tracer = tracer
+        self._on_tracer_attached()
+
+    def _on_tracer_attached(self) -> None:
+        """Hook: propagate ``self.tracer`` into protocol sub-components."""
+
     # ------------------------------------------------------------------
     # request handling
     # ------------------------------------------------------------------
@@ -252,6 +273,10 @@ class ReplicaRuntime(Actor):
         """Fold one executed order unit; broadcast a vote at K crossings."""
         vote = self.checkpoints.record_execution(entry)
         if vote is not None:
+            if self.tracer is not None:
+                self.tracer.instant(
+                    self.node_id, "checkpoint", "checkpoint-vote", position=vote.position
+                )
             self.broadcast(
                 self.other_replicas(), vote, self.size_model.control_bytes(signatures=1)
             )
@@ -292,6 +317,10 @@ class ReplicaRuntime(Actor):
         self.pipeline.compact_below(
             min(certificate.position, self.pipeline.next_execution_position)
         )
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.node_id, "checkpoint", "stable-checkpoint", position=certificate.position
+            )
         self.on_stable_checkpoint(certificate)
 
     def _arm_transfer_retry(self) -> None:
@@ -309,6 +338,13 @@ class ReplicaRuntime(Actor):
         self.state_transfer.retry_if_stalled()
 
     def _send_state_request(self, target: int, request: StateRequest) -> None:
+        if self.tracer is not None and self._st_span is None:
+            self._st_span = self.tracer.begin(
+                self.node_id,
+                "state-transfer",
+                f"state-transfer from {request.from_position}",
+                from_position=request.from_position,
+            )
         self.send(target, request, self.size_model.control_bytes(signatures=1))
 
     def _serve_state_request(self, sender: int, request: StateRequest) -> None:
@@ -364,6 +400,13 @@ class ReplicaRuntime(Actor):
 
     def _on_state_response(self, sender: int, response: StateResponse) -> None:
         if self.state_transfer.on_response(sender, response):
+            if self.tracer is not None and self._st_span is not None:
+                self.tracer.end(
+                    self._st_span,
+                    served_by=sender,
+                    frontier=self.pipeline.next_execution_position,
+                )
+                self._st_span = None
             if response.certificate is not None:
                 self._on_new_stable_checkpoint(response.certificate)
             self.on_state_transferred(response.certificate)
@@ -399,6 +442,10 @@ class ReplicaRuntime(Actor):
             client_id=transaction.client_id,
             transaction_digest=transaction.digest(),
         )
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.node_id, "lifecycle", "inform", client=transaction.client_id
+            )
         client_node = self.client_node_offset + transaction.client_id
         if client_node in self.network.node_ids():
             self.send(client_node, inform, self.size_model.reply_bytes())
@@ -415,6 +462,16 @@ class ReplicaRuntime(Actor):
         instance: int = 0,
     ) -> None:
         """Record that the batch at ``position`` in the global order is decided."""
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.node_id,
+                "lifecycle",
+                "commit",
+                position=position,
+                view=view,
+                instance=instance,
+                batch=len(transaction_digests),
+            )
         self.pipeline.deliver(position, transaction_digests, view=view, instance=instance)
 
     def resolve_noop(self, digest: bytes, position: int) -> Optional[Transaction]:

@@ -47,6 +47,12 @@ class ScenarioResult:
     # Like counters, excluded from the summary digest: episode timing is an
     # observation channel, not part of the pinned outcome.
     slo_breaches: Tuple[SloBreach, ...] = ()
+    # Per-replica liveness-counter breakdown, in replica-id order.  Same
+    # digest-excluded observation channel as ``counters``.
+    counters_per_replica: Tuple[Dict[str, int], ...] = ()
+    # Flight-recorder dump (repro.obs.Tracer.dump()) captured when the run
+    # was traced and the oracle recorded a violation.  Digest-excluded.
+    trace_dump: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -102,6 +108,8 @@ class ScenarioResult:
             "stragglers": list(self.stragglers),
             "counters": dict(self.counters),
             "slo_breaches": [breach.to_json_dict() for breach in self.slo_breaches],
+            "counters_per_replica": [dict(c) for c in self.counters_per_replica],
+            "trace_dump": self.trace_dump,
         }
 
     @classmethod
@@ -122,13 +130,33 @@ class ScenarioResult:
             slo_breaches=tuple(
                 SloBreach.from_json_dict(breach) for breach in data.get("slo_breaches", ())
             ),
+            counters_per_replica=tuple(
+                dict(c) for c in data.get("counters_per_replica", ())
+            ),
+            trace_dump=data.get("trace_dump"),
         )
 
 
 class ScenarioRunner:
-    """Runs one :class:`ScenarioSpec` against a freshly built cluster."""
+    """Runs one :class:`ScenarioSpec` against a freshly built cluster.
 
-    def __init__(self, spec: ScenarioSpec) -> None:
+    ``flight`` attaches a bounded flight-recorder
+    :class:`~repro.obs.tracer.Tracer` whose trailing window is dumped into
+    :attr:`ScenarioResult.trace_dump` whenever the oracle records a
+    violation.  Passing an explicit ``tracer`` (e.g. an unbounded one for
+    ``repro trace``) overrides ``flight``; the caller then owns the dump.
+    ``telemetry_interval`` additionally samples per-replica commit-frontier
+    / view / queue-depth time series into the tracer and the cluster's
+    metrics registry.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        flight: bool = False,
+        tracer: Optional[object] = None,
+        telemetry_interval: Optional[float] = None,
+    ) -> None:
         self.spec = spec
         self.cluster = SimulatedCluster.for_protocol(
             spec.protocol,
@@ -146,6 +174,13 @@ class ScenarioRunner:
         # scenario clients must record them (off by default for benchmarks).
         for client in self.cluster.clients:
             client.record_confirmed_digests = True
+        self.tracer = tracer
+        if self.tracer is None and flight:
+            from repro.obs.tracer import Tracer
+
+            self.tracer = Tracer(self.cluster.simulator)
+        if self.tracer is not None:
+            self.cluster.attach_tracer(self.tracer, telemetry_interval=telemetry_interval)
         self.injector = FaultInjector(self.cluster)
         self.oracle = InvariantOracle(
             self.cluster,
@@ -186,9 +221,18 @@ class ScenarioRunner:
             getattr(replica, "executed_transactions", 0) for replica in self.cluster.replicas
         )
         counters: Dict[str, int] = {}
+        per_replica: List[Dict[str, int]] = []
         for replica in self.cluster.replicas:
-            for name, value in replica.liveness_counters().items():
+            replica_counters = dict(replica.liveness_counters())
+            per_replica.append(replica_counters)
+            for name, value in replica_counters.items():
                 counters[name] = counters.get(name, 0) + value
+        trace_dump: Optional[Dict[str, Any]] = None
+        if self.tracer is not None and self.oracle.violations:
+            # Flight-recorder semantics: a violation freezes the trailing
+            # ring-buffer window alongside the result so the failing run's
+            # last moments survive even when nobody asked for a full trace.
+            trace_dump = self.tracer.dump()
         return ScenarioResult(
             spec=self.spec,
             confirmed_transactions=result.confirmed_transactions,
@@ -199,12 +243,14 @@ class ScenarioRunner:
             stragglers=self.oracle.stragglers,
             counters=counters,
             slo_breaches=tuple(self.oracle.slo_breaches),
+            counters_per_replica=tuple(per_replica),
+            trace_dump=trace_dump,
         )
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+def run_scenario(spec: ScenarioSpec, flight: bool = False) -> ScenarioResult:
     """Convenience wrapper: build a runner for ``spec`` and run it."""
-    return ScenarioRunner(spec).run()
+    return ScenarioRunner(spec, flight=flight).run()
 
 
 def run_matrix(
@@ -212,6 +258,7 @@ def run_matrix(
     workers: Optional[int] = None,
     cache: Optional[object] = None,
     dispatcher: Optional[object] = None,
+    flight: bool = False,
 ) -> List[ScenarioResult]:
     """Run every spec and return results in spec order.
 
@@ -231,11 +278,15 @@ def run_matrix(
     """
     if dispatcher is None:
         if (workers is None or workers <= 1) and cache is None:
-            return [run_scenario(spec) for spec in specs]
+            return [run_scenario(spec, flight=flight) for spec in specs]
         from repro.dispatch import Dispatcher
 
         dispatcher = Dispatcher(workers=workers, cache=cache)
-    return dispatcher.run("scenario", list(specs))
+    if flight:
+        payloads: List[object] = [{"spec": spec, "flight": True} for spec in specs]
+    else:
+        payloads = list(specs)
+    return dispatcher.run("scenario", payloads)
 
 
 MATRIX_COLUMNS = [

@@ -72,6 +72,7 @@ class Actor:
         "inbound_messages",
         "outbound_messages",
         "_default_label",
+        "tracer",
     )
 
     def __init__(self, node_id: int, simulator: Simulator, network: Network) -> None:
@@ -82,6 +83,10 @@ class Actor:
         self.inbound_messages = 0
         self.outbound_messages = 0
         self._default_label = f"actor:{node_id}"
+        # Observability hook (repro.obs.Tracer).  None means tracing is
+        # disabled: every instrumentation point guards on exactly this one
+        # attribute so the disabled hot path costs a single load + is-check.
+        self.tracer = None
         network.register(self)
 
     # -- messaging -------------------------------------------------------

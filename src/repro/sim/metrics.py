@@ -10,23 +10,30 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 
 class Counter:
-    """Monotone event counter."""
+    """Monotone event counter.
+
+    Counters track discrete events, so accumulation starts as an exact
+    ``int`` and stays integral as long as only integral amounts are added.
+    Recording a fractional amount (e.g. fractional byte estimates) promotes
+    the value to ``float`` through ordinary numeric widening — callers that
+    only ever count events get exact integer totals with no float drift.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.value = 0.0
+        self.value: Union[int, float] = 0
 
-    def increment(self, amount: float = 1.0) -> None:
+    def increment(self, amount: Union[int, float] = 1) -> None:
         """Add ``amount`` to the counter."""
         self.value += amount
 
     def reset(self) -> None:
         """Reset the counter to zero."""
-        self.value = 0.0
+        self.value = 0
 
 
 class Histogram:
@@ -100,6 +107,27 @@ class TimeSeries:
         """Return ``(bucket_start_time, per-second rate)`` pairs."""
         return [(start, total / self.bucket_width) for start, total in self.buckets()]
 
+    def total(self) -> float:
+        """Sum of every recorded amount across all buckets."""
+        return sum(self._buckets.values())
+
+    def to_csv_rows(self) -> List[Tuple[float, float]]:
+        """``(bucket_start_time, total)`` rows for a CSV export.
+
+        Alias of :meth:`buckets` under an export-oriented name so writers
+        (``repro.obs.export``) read as intent, not mechanism.
+        """
+        return self.buckets()
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation: name, bucket width, buckets."""
+        return {
+            "name": self.name,
+            "bucket_width": self.bucket_width,
+            "total": self.total(),
+            "buckets": [[start, total] for start, total in self.buckets()],
+        }
+
 
 class MetricsRegistry:
     """Container of named counters, histograms and time series."""
@@ -132,14 +160,29 @@ class MetricsRegistry:
         return self._counters.values()
 
     def snapshot(self) -> Dict[str, float]:
-        """Flat dictionary of counter values and histogram means."""
+        """Flat dictionary of every probe's summary statistics.
+
+        Counters export their (exact) value; histograms export mean, count,
+        nearest-rank p50/p99 and the max; time series export their summed
+        total.  Trace summaries and scenario rows share this one export
+        path, so the keys are stable API.
+        """
         values: Dict[str, float] = {}
         for name, counter in self._counters.items():
             values[name] = counter.value
         for name, histogram in self._histograms.items():
             values[f"{name}.mean"] = histogram.mean()
             values[f"{name}.count"] = float(histogram.count)
+            values[f"{name}.p50"] = histogram.percentile(0.50)
+            values[f"{name}.p99"] = histogram.percentile(0.99)
+            values[f"{name}.max"] = histogram.maximum()
+        for name, series in self._series.items():
+            values[f"{name}.total"] = series.total()
         return values
+
+    def series(self) -> Iterable[TimeSeries]:
+        """All registered time series."""
+        return self._series.values()
 
     def reset(self) -> None:
         """Reset every registered probe."""

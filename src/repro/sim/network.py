@@ -116,6 +116,17 @@ class CompositePartition:
 
 DropRule = Callable[[int, int, object], bool]
 
+
+def _payload_name(payload: object) -> str:
+    """Human-readable message type for trace flow edges.
+
+    SpotLess broadcasts ``(instance_id, message)`` tuples; the inner message
+    type is the informative one.
+    """
+    if payload.__class__ is tuple and len(payload) == 2:
+        return payload[1].__class__.__name__
+    return payload.__class__.__name__
+
 # A rewrite rule may replace a payload in flight (Byzantine equivocation):
 # it returns the substitute payload, or None to leave the message unchanged.
 RewriteRule = Callable[[int, int, object], Optional[object]]
@@ -146,6 +157,10 @@ class Network:
         self._drop_rules: list[DropRule] = []
         self._rewrite_rules: list[RewriteRule] = []
         self._down_nodes: Set[int] = set()
+        # Observability hook (repro.obs.Tracer): when attached, every
+        # delivery carries a flow edge correlating send and deliver in the
+        # exported timeline.  None keeps the fast paths untouched.
+        self.tracer = None
         # Counter objects are stable for the registry's lifetime (reset
         # mutates in place), so resolve them once instead of a string-keyed
         # dict lookup per message.
@@ -276,7 +291,7 @@ class Network:
         down = self._down_nodes
         if sender in down:
             return False
-        self._c_sent.value += 1.0
+        self._c_sent.value += 1
         self._c_bytes.value += size_bytes
 
         # NIC serialisation at the sender: messages leave one after another.
@@ -294,19 +309,19 @@ class Network:
         # sequence) as :meth:`_should_drop`.
         rng = self.rng
         if receiver in down:
-            self._c_dropped.value += 1.0
+            self._c_dropped.value += 1
             return False
         partition = self._partition
         if partition is not None and not partition.allows(sender, receiver):
-            self._c_dropped.value += 1.0
+            self._c_dropped.value += 1
             return False
         loss_rate = config.loss_rate
         if loss_rate > 0.0 and rng.random() < loss_rate:
-            self._c_dropped.value += 1.0
+            self._c_dropped.value += 1
             return False
         drop_rules = self._drop_rules
         if drop_rules and any(rule(sender, receiver, payload) for rule in drop_rules):
-            self._c_dropped.value += 1.0
+            self._c_dropped.value += 1
             return False
 
         rewrite_rules = self._rewrite_rules
@@ -326,7 +341,15 @@ class Network:
         else:
             propagation = link.delay
         delivery_delay = (departure - now) + propagation
-        if simulator.tracing:
+        tracer = self.tracer
+        if tracer is not None:
+            flow_id = tracer.flow_begin(sender, _payload_name(payload), size=size_bytes)
+            simulator.schedule(
+                delivery_delay,
+                lambda: self._deliver_traced(flow_id, sender, receiver, payload),
+                label=f"deliver:{sender}->{receiver}",
+            )
+        elif simulator.tracing:
             simulator.schedule(
                 delivery_delay,
                 lambda: self._deliver(sender, receiver, payload),
@@ -365,6 +388,7 @@ class Network:
         deliver = self._deliver
         schedule_call = simulator.schedule_call
         tracing = simulator.tracing
+        tracer = self.tracer
         # Simulated time cannot advance while the fan-out loop runs, and each
         # departure time strictly dominates the previous one, so the NIC clock
         # is carried in a local and written back each iteration (drop/rewrite
@@ -383,21 +407,21 @@ class Network:
             # is re-checked per receiver just as in :meth:`send`.
             if sender in down:
                 continue
-            c_sent.value += 1.0
+            c_sent.value += 1
             c_bytes.value += size_bytes
             departure = nic_free + transmit_time
             nic[sender] = nic_free = departure
             if receiver in down:
-                c_dropped.value += 1.0
+                c_dropped.value += 1
                 continue
             if partition is not None and not partition.allows(sender, receiver):
-                c_dropped.value += 1.0
+                c_dropped.value += 1
                 continue
             if loss_rate > 0.0 and random() < loss_rate:
-                c_dropped.value += 1.0
+                c_dropped.value += 1
                 continue
             if drop_rules and any(rule(sender, receiver, payload) for rule in drop_rules):
-                c_dropped.value += 1.0
+                c_dropped.value += 1
                 continue
             message = payload
             if rewrite_rules:
@@ -415,7 +439,18 @@ class Network:
             else:
                 propagation = link.delay
             delivery_delay = (departure - now) + propagation
-            if tracing:
+            if tracer is not None:
+                flow_id = tracer.flow_begin(sender, _payload_name(message), size=size_bytes)
+                simulator.schedule(
+                    delivery_delay,
+                    (
+                        lambda f=flow_id, s=sender, r=receiver, m=message: self._deliver_traced(
+                            f, s, r, m
+                        )
+                    ),
+                    label=f"deliver:{sender}->{receiver}",
+                )
+            elif tracing:
                 simulator.schedule(
                     delivery_delay,
                     (lambda s=sender, r=receiver, m=message: deliver(s, r, m)),
@@ -428,16 +463,23 @@ class Network:
 
     def _deliver(self, sender: int, receiver: int, payload: object) -> None:
         if receiver in self._down_nodes:
-            self._c_dropped.value += 1.0
+            self._c_dropped.value += 1
             return
         actor = self._actors.get(receiver)
         if actor is None:
             return
-        self._c_delivered.value += 1.0
+        self._c_delivered.value += 1
         # Inlined Actor.deliver: one frame per delivered message matters at
         # this call rate, and no actor subclass overrides deliver.
         actor.inbound_messages += 1
         actor.on_message(sender, payload)
+
+    def _deliver_traced(self, flow_id: int, sender: int, receiver: int, payload: object) -> None:
+        """Traced delivery: closes the flow edge, then delivers normally."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.flow_end(flow_id, receiver, _payload_name(payload))
+        self._deliver(sender, receiver, payload)
 
 
 __all__ = [

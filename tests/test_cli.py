@@ -199,7 +199,7 @@ def test_fuzz_archives_failing_specs_for_replay(tmp_path, monkeypatch, capsys):
     import repro.scenarios as scenarios
     from repro.scenarios import InvariantViolation, ScenarioResult
 
-    def broken_matrix(specs, workers=None, cache=None):
+    def broken_matrix(specs, workers=None, cache=None, flight=False):
         return [
             ScenarioResult(
                 spec=spec,
