@@ -17,6 +17,8 @@ The CLI exposes the experiment harness without writing any Python::
     python -m repro trace fuzz-1-42-min --output trace.json
     python -m repro figure offered-load --protocols spotless pbft
     python -m repro fuzz --count 50 --seed 1
+    python -m repro campaign status campaign-ledgers/fuzz-1-20260808-120000-1234.jsonl
+    python -m repro campaign report campaign-ledgers/fuzz-1-20260808-120000-1234.jsonl
     python -m repro triage minimize fuzz-failures/fuzz-1-42.json --ingest
     python -m repro triage corpus --workers 4
     python -m repro perf --check BENCH_PR6.json
@@ -29,7 +31,11 @@ benchmark harness prints, so the numbers can be compared directly against
 the corresponding figure in the paper — EXPERIMENTS.md maps every CLI name
 to its figure.  ``--workers`` shards any grid-shaped command across worker
 processes through :mod:`repro.dispatch` with a content-addressed result
-cache; serial and parallel runs print byte-identical tables.
+cache; serial and parallel runs print byte-identical tables.  Campaign-shaped
+verbs (``fuzz``, ``scenario --matrix``, ``figure all``, ``ablation all``)
+additionally append a JSONL campaign ledger under ``campaign-ledgers/``
+(``--ledger FILE`` pins the path, ``--no-ledger`` disables it); the
+``campaign`` verb family reads those files back.
 """
 
 from __future__ import annotations
@@ -50,6 +56,39 @@ from repro.bench.cluster import SimulatedCluster
 #: Kept as a literal (not an import of repro.triage.DEFAULT_CORPUS_DIR) so
 #: building the parser never pays for the triage imports.
 DEFAULT_CORPUS_DIR = str(Path("fuzz-failures") / "corpus")
+
+
+def _check_workers(args: argparse.Namespace) -> Optional[str]:
+    """Validate ``--workers``; returns an error message or None.
+
+    ``--workers 0`` used to be silently coerced to one worker by the
+    dispatcher — an accidental serial run instead of a clear error.
+    """
+    if args.workers is not None and args.workers < 1:
+        return "--workers must be a positive integer"
+    return None
+
+
+def _campaign_ledger(args: argparse.Namespace, kind: str, meta: Optional[Dict[str, object]] = None):
+    """The campaign ledger for one CLI campaign path (default ON).
+
+    ``--ledger FILE`` pins the path; ``--no-ledger`` disables recording;
+    otherwise an auto-named file lands under ``campaign-ledgers/``.
+    """
+    if getattr(args, "no_ledger", False):
+        return None
+    from repro.dispatch.ledger import CampaignLedger, default_ledger_path
+
+    explicit = getattr(args, "ledger", None)
+    path = Path(explicit) if explicit else default_ledger_path(kind)
+    return CampaignLedger(path, meta=meta)
+
+
+def _report_crashed_cells(crashed: List[object]) -> None:
+    """Stderr summary of cells that raised (campaign kept going)."""
+    print(f"\n{len(crashed)} cell(s) crashed (campaign continued):", file=sys.stderr)
+    for failure in crashed:
+        print(f"  {failure}", file=sys.stderr)
 
 
 def _figure_kwargs(name: str, args: argparse.Namespace) -> Dict[str, object]:
@@ -254,10 +293,11 @@ def _dispatch_named(
     table: Dict[str, Dict[str, object]], task: str, args: argparse.Namespace
 ) -> int:
     """Run one or all named figures/ablations through the dispatcher."""
-    from repro.dispatch import Dispatcher, ResultCache
+    from repro.dispatch import CellFailure, Dispatcher, ResultCache
 
-    if args.workers is not None and args.workers < 0:
-        print("--workers must be non-negative", file=sys.stderr)
+    error = _check_workers(args)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
     if args.name == "all":
         names = list(table)
@@ -280,26 +320,46 @@ def _dispatch_named(
             payload["kwargs"] = _figure_kwargs(name, args)
         payloads.append(payload)
     cache = None if args.no_cache else ResultCache()
-    dispatcher = Dispatcher(workers=args.workers, cache=cache)
+    # `all` is a campaign (many cells, worth a durable record); a single
+    # named figure/ablation through --workers is not unless --ledger asks.
+    ledger = None
+    if args.name == "all" or getattr(args, "ledger", None):
+        ledger = _campaign_ledger(args, task)
+    dispatcher = Dispatcher(
+        workers=args.workers, cache=cache, ledger=ledger, on_error="collect"
+    )
     all_rows = dispatcher.run(task, payloads)
+    crashed = []
     for index, (name, rows) in enumerate(zip(names, all_rows)):
         if index:
             print()
         spec = table[name]
         print(spec["paper"])
+        if isinstance(rows, CellFailure):
+            crashed.append(rows)
+            print(f"  FAILED: {rows.error_type}: {rows.message}")
+            continue
         print(format_table(rows, spec["columns"]))
     print(f"dispatch: {dispatcher.last_stats.summary()}", file=sys.stderr)
+    if ledger is not None:
+        print(
+            f"campaign ledger: {ledger.path} (inspect with `repro campaign report {ledger.path}`)",
+            file=sys.stderr,
+        )
+    if crashed:
+        _report_crashed_cells(crashed)
+        return 1
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    if args.name == "all" or args.workers is not None:
+    if args.name == "all" or args.workers is not None or args.ledger:
         return _dispatch_named(FIGURES, "figure", args)
     return _run_named(FIGURES, args.name, args)
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
-    if args.name == "all" or args.workers is not None:
+    if args.name == "all" or args.workers is not None or args.ledger:
         return _dispatch_named(ABLATIONS, "ablation", args)
     return _run_named(ABLATIONS, args.name, args)
 
@@ -330,26 +390,41 @@ def _run_specs(
     args: argparse.Namespace,
     use_cache: bool = True,
     flight: bool = False,
+    ledger: Optional[object] = None,
 ) -> List[object]:
-    """Run scenario specs serially or through the dispatcher (``--workers``).
+    """Run scenario specs serially or through the dispatcher.
 
-    The serial path (no ``--workers``) is the historical in-process loop;
-    ``--workers`` routes the same specs through
-    :func:`repro.scenarios.run_matrix`'s dispatcher path, which adds the
-    worker pool and the result cache but returns identical results, so
-    both print byte-identical tables.  The dispatch accounting goes to
-    stderr to keep stdout comparable.
+    The bare serial path (no ``--workers``, no ledger) is the historical
+    in-process loop; ``--workers`` and/or a campaign ledger route the same
+    specs through :func:`repro.scenarios.run_matrix`'s dispatcher path,
+    which adds the worker pool, the result cache and the ledger's event
+    stream but returns identical results, so both print byte-identical
+    tables.  The dispatch accounting goes to stderr to keep stdout
+    comparable.  Cells that raise come back as
+    :class:`~repro.dispatch.CellFailure` records instead of aborting the
+    campaign — callers partition them out of the results.
     """
     from repro.scenarios import run_matrix
 
-    if args.workers is None:
+    if args.workers is None and ledger is None:
         return run_matrix(specs, flight=flight)
     from repro.dispatch import Dispatcher, ResultCache
 
-    cache = None if (args.no_cache or not use_cache) else ResultCache()
-    dispatcher = Dispatcher(workers=args.workers, cache=cache)
+    cache = None if (args.no_cache or not use_cache or args.workers is None) else ResultCache()
+    dispatcher = Dispatcher(
+        workers=args.workers, cache=cache, ledger=ledger, on_error="collect"
+    )
     results = run_matrix(specs, dispatcher=dispatcher, flight=flight)
-    print(f"dispatch: {dispatcher.last_stats.summary()}", file=sys.stderr)
+    # last_stats is None when a test stubs run_matrix without invoking the
+    # dispatcher — nothing ran, so there is no accounting to print.
+    if dispatcher.last_stats is not None:
+        print(f"dispatch: {dispatcher.last_stats.summary()}", file=sys.stderr)
+        if ledger is not None:
+            print(
+                f"campaign ledger: {ledger.path} "
+                f"(inspect with `repro campaign report {ledger.path}`)",
+                file=sys.stderr,
+            )
     return results
 
 
@@ -423,8 +498,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         single_fault_spec,
     )
 
-    if args.workers is not None and args.workers < 0:
-        print("--workers must be non-negative", file=sys.stderr)
+    error = _check_workers(args)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
     if args.seed is not None and args.seeds:
         print("--seed and --seeds are mutually exclusive", file=sys.stderr)
@@ -558,11 +634,24 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     else:
+        # Only the matrix is a campaign worth a durable ledger; replays and
+        # single scenarios stay ledger-free unless --ledger asks for one.
+        ledger = None
+        if args.matrix is not None or getattr(args, "ledger", None):
+            kind = f"scenario-{args.matrix}" if args.matrix is not None else "scenario"
+            ledger = _campaign_ledger(
+                args, kind, meta={"matrix": args.matrix, "seeds": list(seeds)}
+            )
         # A replay must actually re-run the simulation — a cache hit would
         # "reproduce" the archived violation without executing anything.
         results = _run_specs(
-            specs, args, use_cache=args.replay is None, flight=not args.no_flight
+            specs, args, use_cache=args.replay is None, flight=not args.no_flight,
+            ledger=ledger,
         )
+    from repro.dispatch.dispatcher import CellFailure
+
+    crashed = [result for result in results if isinstance(result, CellFailure)]
+    results = [result for result in results if not isinstance(result, CellFailure)]
     print(format_matrix(results))
     _print_counters(results, per_replica=args.counters)
     violations = [v for result in results for v in result.violations]
@@ -571,6 +660,11 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         for violation in violations:
             print(f"  {violation}", file=sys.stderr)
         _archive_flight_dumps(results, Path(args.archive_dir))
+        if crashed:
+            _report_crashed_cells(crashed)
+        return 1
+    if crashed:
+        _report_crashed_cells(crashed)
         return 1
     print(f"\ninvariant oracle: all {len(results)} scenarios clean")
     return 0
@@ -637,15 +731,23 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     if args.count < 0:
         print("--count must be non-negative", file=sys.stderr)
         return 2
-    if args.workers is not None and args.workers < 0:
-        print("--workers must be non-negative", file=sys.stderr)
+    error = _check_workers(args)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
     if args.duration < MIN_FUZZ_DURATION:
         print(f"--duration must be at least {MIN_FUZZ_DURATION}", file=sys.stderr)
         return 2
     specs = fuzz_matrix(args.count, seed=args.seed, duration=args.duration)
     print(f"fuzz campaign: {len(specs)} randomized multi-fault scenarios (seed {args.seed})")
-    results = _run_specs(specs, args, flight=not args.no_flight)
+    ledger = _campaign_ledger(
+        args, f"fuzz-{args.seed}", meta={"seed": args.seed, "count": args.count}
+    )
+    results = _run_specs(specs, args, flight=not args.no_flight, ledger=ledger)
+    from repro.dispatch.dispatcher import CellFailure
+
+    crashed = [result for result in results if isinstance(result, CellFailure)]
+    results = [result for result in results if not isinstance(result, CellFailure)]
     print(format_matrix(results))
     failures = [result for result in results if result.violations]
     if failures:
@@ -672,6 +774,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             )
         if not args.no_minimize:
             _triage_failures(args, failures)
+        if crashed:
+            _report_crashed_cells(crashed)
+        return 1
+    if crashed:
+        _report_crashed_cells(crashed)
         return 1
     print(f"\nfuzz: all {len(results)} scenarios clean")
     return 0
@@ -681,8 +788,9 @@ def _cmd_triage_minimize(args: argparse.Namespace) -> int:
     from repro.dispatch import ResultCache
     from repro.triage import Corpus, minimize_spec
 
-    if args.workers is not None and args.workers < 0:
-        print("--workers must be non-negative", file=sys.stderr)
+    error = _check_workers(args)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
     if args.max_attempts < 1:
         print("--max-attempts must be positive", file=sys.stderr)
@@ -748,8 +856,9 @@ def _cmd_triage_corpus(args: argparse.Namespace) -> int:
     from repro.dispatch import ResultCache
     from repro.triage import Corpus, format_corpus, replay_corpus
 
-    if args.workers is not None and args.workers < 0:
-        print("--workers must be non-negative", file=sys.stderr)
+    error = _check_workers(args)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
     corpus = Corpus(Path(args.corpus_dir))
     if args.promote:
@@ -920,6 +1029,87 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_campaign(path: str):
+    """Read and reduce one ledger; returns (records, manifest) or an error string."""
+    from repro.dispatch import read_ledger, reduce_ledger
+
+    try:
+        records = read_ledger(path)
+    except OSError as error:
+        return None, None, f"cannot read ledger {path!r}: {error}"
+    if not records:
+        return None, None, f"{path!r} holds no campaign records"
+    return records, reduce_ledger(records), None
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.dispatch import format_status
+
+    records, manifest, error = _read_campaign(args.ledger)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    print(format_status(manifest))
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.dispatch import format_report
+
+    records, manifest, error = _read_campaign(args.ledger)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    print(format_report(manifest, top=args.top))
+    if args.trace is not None:
+        from repro.obs import write_campaign_trace
+
+        counts = write_campaign_trace(records, args.trace)
+        print(
+            f"wrote {args.trace}: {sum(counts.values())} trace events "
+            f"(open in https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_campaign_tail(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from repro.dispatch import format_event, read_ledger
+
+    records, _manifest, error = _read_campaign(args.ledger)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    shown = records if args.lines <= 0 else records[-args.lines:]
+    for record in shown:
+        print(format_event(record))
+    if not args.follow:
+        return 0
+    # Follow mode: poll for appended records until campaign-end (the reader
+    # tolerates racing an in-flight append, so re-reading is safe).
+    seen = len(records)
+    try:
+        while not any(record.get("event") == "campaign-end" for record in records):
+            time_module.sleep(0.5)
+            records = read_ledger(args.ledger)
+            for record in records[seen:]:
+                print(format_event(record), flush=True)
+            seen = len(records)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    handler = getattr(args, "campaign_handler", None)
+    if handler is None:
+        print("usage: repro campaign {status,report,tail} LEDGER", file=sys.stderr)
+        return 2
+    return handler(args)
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.bench import perf
 
@@ -944,6 +1134,21 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     print(f"model ranking:     {' > '.join(report['model_ranking'])}")
     print(f"pairwise rank agreement: {report['rank_agreement']:.2f}")
     return 0
+
+
+def _add_ledger_flags(parser: argparse.ArgumentParser, scope: str) -> None:
+    """The campaign-ledger flag pair shared by every campaign-capable verb."""
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help=f"campaign ledger JSONL path ({scope}: default campaign-ledgers/<auto>.jsonl)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not record a campaign ledger",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -974,6 +1179,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument(
         "--no-cache", action="store_true", help="skip the dispatch result cache"
     )
+    _add_ledger_flags(figure_parser, "with `all`")
     figure_parser.set_defaults(handler=_cmd_figure)
 
     ablation_parser = subparsers.add_parser("ablation", help="run one design-choice ablation")
@@ -985,6 +1191,7 @@ def build_parser() -> argparse.ArgumentParser:
     ablation_parser.add_argument(
         "--no-cache", action="store_true", help="skip the dispatch result cache"
     )
+    _add_ledger_flags(ablation_parser, "with `all`")
     ablation_parser.set_defaults(handler=_cmd_ablation)
 
     cluster_parser = subparsers.add_parser("cluster", help="run a small message-level simulated cluster")
@@ -1085,6 +1292,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="fuzz-failures",
         help="directory that receives *-flight.json dumps of violating runs",
     )
+    _add_ledger_flags(scenario_parser, "with --matrix")
     scenario_parser.set_defaults(handler=_cmd_scenario)
 
     fuzz_parser = subparsers.add_parser(
@@ -1125,7 +1333,61 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the flight recorder (failing cells then archive no trace window)",
     )
+    _add_ledger_flags(fuzz_parser, "always on")
     fuzz_parser.set_defaults(handler=_cmd_fuzz)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="inspect a campaign ledger: manifest, failure breakdown, event tail",
+    )
+    campaign_parser.set_defaults(handler=_cmd_campaign)
+    campaign_subparsers = campaign_parser.add_subparsers(dest="campaign_command")
+
+    status_parser = campaign_subparsers.add_parser(
+        "status",
+        help="cell accounting (done/failed/cached/in-flight/pending), rate, ETA, workers",
+    )
+    status_parser.add_argument("ledger", help="campaign ledger JSONL file")
+    status_parser.set_defaults(campaign_handler=_cmd_campaign_status)
+
+    report_parser = campaign_subparsers.add_parser(
+        "report",
+        help="full campaign report: failure signatures, slowest cells, worker utilization",
+    )
+    report_parser.add_argument("ledger", help="campaign ledger JSONL file")
+    report_parser.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="rows per breakdown section (default: 5)",
+    )
+    report_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="also export the campaign timeline as Chrome trace-event JSON "
+        "(one track per worker, open in https://ui.perfetto.dev)",
+    )
+    report_parser.set_defaults(campaign_handler=_cmd_campaign_report)
+
+    tail_parser = campaign_subparsers.add_parser(
+        "tail",
+        help="print the last ledger events, one line each",
+    )
+    tail_parser.add_argument("ledger", help="campaign ledger JSONL file")
+    tail_parser.add_argument(
+        "-n",
+        "--lines",
+        type=int,
+        default=20,
+        help="events to show (default: 20; 0 means all)",
+    )
+    tail_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep polling for new events until campaign-end (Ctrl-C to stop)",
+    )
+    tail_parser.set_defaults(campaign_handler=_cmd_campaign_tail)
 
     trace_parser = subparsers.add_parser(
         "trace",

@@ -46,6 +46,26 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-dispatch"
 
 
+def cache_key(task: str, payload: Dict[str, Any], fingerprint: str) -> str:
+    """Content address of one cell: task + canonical payload + source.
+
+    Module-level so the campaign ledger can stamp every cell with the same
+    key a :class:`ResultCache` would use even when no cache is attached —
+    the key is the cell's identity in the on-disk campaign record.
+    """
+    canonical = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "task": task,
+            "payload": payload,
+            "source": fingerprint,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 class ResultCache:
     """Disk-backed, content-addressed store of dispatched cell results."""
 
@@ -61,18 +81,8 @@ class ResultCache:
     # ------------------------------------------------------------------
 
     def key(self, task: str, payload: Dict[str, Any]) -> str:
-        """Content address of one cell: task + canonical payload + source."""
-        canonical = json.dumps(
-            {
-                "format": CACHE_FORMAT,
-                "task": task,
-                "payload": payload,
-                "source": self.fingerprint,
-            },
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        """Content address of one cell (see :func:`cache_key`)."""
+        return cache_key(task, payload, self.fingerprint)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -146,5 +156,6 @@ __all__ = [
     "CACHE_FORMAT",
     "PRUNE_AFTER_SECONDS",
     "ResultCache",
+    "cache_key",
     "default_cache_dir",
 ]

@@ -8,7 +8,12 @@ cache need to handle one kind of work item:
 * ``payload_json`` — the canonical JSON form of a payload, used as the
   content-address of the cell in the :class:`~repro.dispatch.cache.ResultCache`;
 * ``encode``/``decode`` — convert a result to/from the JSON value stored in
-  the cache, such that a decoded result is indistinguishable from a fresh one.
+  the cache, such that a decoded result is indistinguishable from a fresh one;
+* ``describe``/``summarize`` (optional) — observability hooks for the
+  campaign ledger: a short human-readable cell label for a payload, and a
+  small JSON outcome summary for a result (carried on ``cell-done`` records
+  and reduced by the :class:`~repro.dispatch.campaign.CampaignManifest`).
+  Neither ever feeds back into results or cache keys.
 
 Four task kinds are registered: ``scenario`` (one
 :class:`~repro.scenarios.spec.ScenarioSpec` through the chaos runner with
@@ -26,7 +31,7 @@ an unchanged finding re-serves from cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -38,6 +43,11 @@ class DispatchTask:
     payload_json: Callable[[Any], Dict[str, Any]]
     encode: Callable[[Any], Any]
     decode: Callable[[Any], Any]
+    # Optional observability hooks (see module docstring); a task without
+    # them still dispatches — cells just get positional labels and bare
+    # ``cell-done`` records in the campaign ledger.
+    describe: Optional[Callable[[Any], str]] = None
+    summarize: Optional[Callable[[Any], Dict[str, Any]]] = None
 
 
 _TASKS: Dict[str, DispatchTask] = {}
@@ -108,6 +118,19 @@ def _scenario_decode(value) -> Any:
     return ScenarioResult.from_json_dict(value)
 
 
+def _scenario_describe(payload) -> str:
+    if isinstance(payload, dict):
+        spec = payload["spec"]
+        return spec["name"] if isinstance(spec, dict) else spec.name
+    return payload.name
+
+
+def _scenario_summarize(result) -> Dict[str, Any]:
+    from repro.triage.signature import signature_summary
+
+    return signature_summary(result)
+
+
 register_task(
     DispatchTask(
         name="scenario",
@@ -115,6 +138,8 @@ register_task(
         payload_json=_scenario_payload_json,
         encode=_scenario_encode,
         decode=_scenario_decode,
+        describe=_scenario_describe,
+        summarize=_scenario_summarize,
     )
 )
 
@@ -153,6 +178,24 @@ def _triage_decode(value) -> Any:
     return MinimizationResult.from_json_dict(value)
 
 
+def _triage_describe(payload: Dict[str, Any]) -> str:
+    return f"minimize:{payload['spec'].get('name', '?')}"
+
+
+def _triage_summarize(result) -> Dict[str, Any]:
+    summary: Dict[str, Any] = {
+        "reproduced": result.reproduced,
+        "attempts": result.attempts,
+        "reductions": result.reductions,
+        "minimized": result.minimized.name,
+    }
+    if result.signature is not None:
+        summary["signature"] = result.signature.to_json_dict()
+        summary["signature_key"] = result.signature.key()
+        summary["signature_label"] = result.signature.label()
+    return summary
+
+
 register_task(
     DispatchTask(
         name="triage-minimize",
@@ -160,6 +203,8 @@ register_task(
         payload_json=_triage_payload_json,
         encode=_triage_encode,
         decode=_triage_decode,
+        describe=_triage_describe,
+        summarize=_triage_summarize,
     )
 )
 
@@ -185,6 +230,14 @@ def _identity(value: Any) -> Any:
     return value
 
 
+def _named_payload_describe(payload: Dict[str, Any]) -> str:
+    return str(payload.get("name", "?"))
+
+
+def _rows_summarize(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    return {"rows": len(rows)}
+
+
 register_task(
     DispatchTask(
         name="figure",
@@ -192,6 +245,8 @@ register_task(
         payload_json=_identity,
         encode=_identity,
         decode=_identity,
+        describe=_named_payload_describe,
+        summarize=_rows_summarize,
     )
 )
 
@@ -202,6 +257,8 @@ register_task(
         payload_json=_identity,
         encode=_identity,
         decode=_identity,
+        describe=_named_payload_describe,
+        summarize=_rows_summarize,
     )
 )
 

@@ -8,10 +8,12 @@ Tracing is strictly zero-cost when disabled; see :mod:`repro.obs.tracer`.
 """
 
 from repro.obs.export import (
+    campaign_chrome_trace,
     load_trace,
     timeseries_json,
     to_chrome_trace,
     validate_chrome_trace,
+    write_campaign_trace,
     write_chrome_trace,
     write_timeseries_csv,
 )
@@ -22,10 +24,12 @@ __all__ = [
     "DUMP_FORMAT",
     "TelemetrySampler",
     "Tracer",
+    "campaign_chrome_trace",
     "load_trace",
     "timeseries_json",
     "to_chrome_trace",
     "validate_chrome_trace",
+    "write_campaign_trace",
     "write_chrome_trace",
     "write_timeseries_csv",
 ]

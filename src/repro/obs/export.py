@@ -226,6 +226,101 @@ def write_chrome_trace(dump: Dict[str, Any], path: Union[str, Path]) -> Dict[str
     return counts
 
 
+def campaign_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert a campaign ledger's records to a Chrome trace document.
+
+    The cell-level twin of :func:`to_chrome_trace`: one thread track per
+    worker pid, one complete ("X") slice per executed cell spanning
+    ``[t - wall, t]``, and instants for campaign begin/end, cache hits and
+    heartbeats — so a whole fuzz campaign's scheduling (worker utilization,
+    stragglers, dead pulses) opens in the same Perfetto UI as a single
+    cell's flight recording.  Ledger times are wall-clock epoch seconds;
+    the earliest record is rebased to ts 0.
+    """
+    records = [record for record in records if isinstance(record.get("t"), (int, float))]
+    base = min((record["t"] for record in records), default=0.0)
+
+    pids: Set[int] = set()
+    for record in records:
+        pid = record.get("pid")
+        if isinstance(pid, int):
+            pids.add(pid)
+    tid_of = {pid: tid for tid, pid in enumerate(sorted(pids), start=1)}
+
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro-campaign"},
+        }
+    ]
+    for pid, tid in sorted(tid_of.items(), key=lambda item: item[1]):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": f"worker {pid}"},
+            }
+        )
+
+    def rebased(time: float) -> int:
+        return max(0, _ts(time - base))
+
+    for record in records:
+        event = record.get("event")
+        t = record["t"]
+        tid = tid_of.get(record.get("pid"), 0)
+        if event in ("cell-done", "cell-failed"):
+            wall = record.get("wall")
+            wall = float(wall) if isinstance(wall, (int, float)) else 0.0
+            end = rebased(t)
+            start = max(0, end - _ts(wall))
+            args: Dict[str, Any] = {"index": record.get("index")}
+            if event == "cell-failed":
+                error = record.get("error") or {}
+                args["error"] = f"{error.get('type')}: {error.get('message')}"
+            events.append(
+                {
+                    "ph": "X",
+                    "name": str(record.get("cell") or f"cell-{record.get('index')}"),
+                    "cat": "cell" if event == "cell-done" else "cell-failed",
+                    "pid": _PID,
+                    "tid": tid,
+                    "ts": start,
+                    "dur": max(1, end - start),
+                    "args": args,
+                }
+            )
+        elif event in ("campaign-begin", "campaign-end", "cache-hit", "heartbeat"):
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": str(event),
+                    "cat": "campaign",
+                    "pid": _PID,
+                    "tid": tid,
+                    "ts": rebased(t),
+                    "args": {"cell": record["cell"]} if record.get("cell") else {},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_campaign_trace(
+    records: Iterable[Dict[str, Any]], path: Union[str, Path]
+) -> Dict[str, int]:
+    """Export ledger records to ``path`` as validated Chrome trace JSON."""
+    document = campaign_chrome_trace(records)
+    counts = validate_chrome_trace(document)
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+    return counts
+
+
 def timeseries_json(series: Iterable[TimeSeries]) -> Dict[str, Any]:
     """All time series as one JSON document (sorted by series name)."""
     return {
@@ -257,10 +352,12 @@ def load_trace(path: Union[str, Path]) -> Dict[str, Any]:
 
 
 __all__ = [
+    "campaign_chrome_trace",
     "load_trace",
     "timeseries_json",
     "to_chrome_trace",
     "validate_chrome_trace",
+    "write_campaign_trace",
     "write_chrome_trace",
     "write_timeseries_csv",
 ]

@@ -259,29 +259,33 @@ def run_matrix(
     cache: Optional[object] = None,
     dispatcher: Optional[object] = None,
     flight: bool = False,
+    ledger: Optional[object] = None,
 ) -> List[ScenarioResult]:
     """Run every spec and return results in spec order.
 
-    With ``workers`` unset (or <= 1), no ``cache`` and no ``dispatcher``,
-    every spec runs serially in this process — the historical behaviour.
-    Otherwise the specs are sharded through
+    With ``workers`` unset (or <= 1), no ``cache``, no ``dispatcher`` and
+    no ``ledger``, every spec runs serially in this process — the
+    historical behaviour.  Otherwise the specs are sharded through
     :class:`repro.dispatch.Dispatcher`: each cell runs on its own freshly
     seeded cluster in a worker process, results are collected back in spec
     order, and a :class:`repro.dispatch.ResultCache` (if given) serves
     unchanged cells without re-running them.  Both paths produce identical
     results — the simulation is deterministic per ``(spec, seed)``, which
-    is what makes the fan-out safe.
+    is what makes the fan-out safe.  A
+    :class:`repro.dispatch.CampaignLedger` passed as ``ledger`` records
+    the campaign's event stream without altering results or cache keys.
 
-    Pass a pre-built ``dispatcher`` (its ``cache`` included) to read the
-    run's :class:`~repro.dispatch.dispatcher.DispatchStats` afterwards;
-    ``workers``/``cache`` are ignored in that case.
+    Pass a pre-built ``dispatcher`` (its ``cache`` and ``ledger``
+    included) to read the run's
+    :class:`~repro.dispatch.dispatcher.DispatchStats` afterwards;
+    ``workers``/``cache``/``ledger`` are ignored in that case.
     """
     if dispatcher is None:
-        if (workers is None or workers <= 1) and cache is None:
+        if (workers is None or workers <= 1) and cache is None and ledger is None:
             return [run_scenario(spec, flight=flight) for spec in specs]
         from repro.dispatch import Dispatcher
 
-        dispatcher = Dispatcher(workers=workers, cache=cache)
+        dispatcher = Dispatcher(workers=workers, cache=cache, ledger=ledger)
     if flight:
         payloads: List[object] = [{"spec": spec, "flight": True} for spec in specs]
     else:

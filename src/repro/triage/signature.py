@@ -90,4 +90,33 @@ def signature_of(result: ScenarioResult) -> Optional[FailureSignature]:
     )
 
 
-__all__ = ["SIGNATURE_FORMAT", "FailureSignature", "signature_of"]
+def signature_summary(result: ScenarioResult) -> Dict[str, Any]:
+    """The campaign ledger's per-cell outcome summary for a scenario run.
+
+    This is what ``cell-done`` records carry and what the campaign manifest
+    reduces: the headline numbers, the digest-excluded liveness counters,
+    and — for violating runs — the serialized :class:`FailureSignature` so
+    ``repro campaign report`` can group a campaign's findings by failure
+    mode without re-running any cell.
+    """
+    summary: Dict[str, Any] = {
+        "scenario": result.spec.name,
+        "protocol": result.spec.protocol,
+        "seed": result.spec.seed,
+        "confirmed": result.confirmed_transactions,
+        "executed": result.executed_transactions,
+        "violations": len(result.violations),
+        "digest": result.summary_digest(),
+        "counters": dict(result.counters),
+    }
+    signature = signature_of(result)
+    if signature is not None:
+        summary["signature"] = signature.to_json_dict()
+        summary["signature_key"] = signature.key()
+        summary["signature_label"] = signature.label()
+    if result.stragglers:
+        summary["stragglers"] = list(result.stragglers)
+    return summary
+
+
+__all__ = ["SIGNATURE_FORMAT", "FailureSignature", "signature_of", "signature_summary"]

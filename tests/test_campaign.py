@@ -1,0 +1,426 @@
+"""Tests for the campaign observability layer (`repro/dispatch/ledger.py`,
+`repro/dispatch/campaign.py`, and the `repro campaign` CLI verbs).
+
+The contract under test: every `Dispatcher.run` with a ledger attached
+leaves an append-only JSONL record whose reduction accounts for every cell
+(done + failed + cache_hits + in_flight + pending == total) — including
+after a crash mid-campaign — while the results themselves stay byte-
+identical to a ledger-free run.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro import cli
+from repro.dispatch import (
+    CampaignLedger,
+    DispatchTask,
+    Dispatcher,
+    ResultCache,
+    append_record,
+    default_ledger_path,
+    read_ledger,
+    reduce_ledger,
+    register_task,
+)
+from repro.dispatch.campaign import format_event, format_report, format_status
+from repro.scenarios import single_fault_spec
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+SMALL_SPECS = [
+    single_fault_spec("pbft", "crash", f=1, duration=0.2, seed=1),
+    single_fault_spec("hotstuff", "A1", f=1, duration=0.2, seed=2),
+]
+
+
+# A cheap instant task so ledger mechanics don't pay for simulations.
+def _run_echo_cell(payload):
+    if payload.get("boom"):
+        raise RuntimeError(f"echo {payload['i']} exploded")
+    if payload.get("interrupt"):
+        raise KeyboardInterrupt()
+    return {"i": payload["i"]}
+
+
+register_task(
+    DispatchTask(
+        name="test-echo",
+        run=_run_echo_cell,
+        payload_json=lambda payload: {"i": payload["i"]},
+        encode=lambda value: value,
+        decode=lambda value: value,
+        describe=lambda payload: f"echo-{payload['i']}",
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# ledger file format
+# ---------------------------------------------------------------------------
+
+
+def test_append_and_read_roundtrip(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    append_record(path, {"event": "a", "t": 1.0})
+    append_record(path, {"event": "b", "t": 2.0, "nested": {"x": [1, 2]}})
+    records = read_ledger(path)
+    assert [r["event"] for r in records] == ["a", "b"]
+    assert records[1]["nested"] == {"x": [1, 2]}
+
+
+def test_reader_skips_truncated_and_corrupt_lines(tmp_path):
+    # A crash mid-append leaves at most one truncated final line; a reader
+    # racing a live writer can see the same thing. Neither is fatal.
+    path = tmp_path / "ledger.jsonl"
+    append_record(path, {"event": "a", "t": 1.0})
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+        handle.write('{"event": "b", "t": 2.0}\n')
+        handle.write('{"event": "c", "t":')  # torn final write
+    records = read_ledger(path)
+    assert [r["event"] for r in records] == ["a", "b"]
+
+
+def test_default_ledger_path_is_unique_per_kind_and_process(tmp_path):
+    path = default_ledger_path("fuzz-7", directory=tmp_path)
+    assert path.parent == tmp_path
+    assert path.name.startswith("fuzz-7-")
+    assert path.suffix == ".jsonl"
+
+
+# ---------------------------------------------------------------------------
+# dispatcher + ledger: the event stream of one campaign
+# ---------------------------------------------------------------------------
+
+
+def test_serial_campaign_writes_a_complete_event_stream(tmp_path):
+    path = tmp_path / "echo.jsonl"
+    ledger = CampaignLedger(path, name="echo-run", meta={"seed": 7})
+    dispatcher = Dispatcher(ledger=ledger, on_error="collect")
+    payloads = [{"i": 0}, {"i": 1, "boom": True}, {"i": 2}]
+    results = dispatcher.run("test-echo", payloads)
+    assert results[0] == {"i": 0} and results[2] == {"i": 2}
+
+    records = read_ledger(path)
+    events = [r["event"] for r in records]
+    assert events[0] == "campaign-begin"
+    assert events[-1] == "campaign-end"
+    begin = records[0]
+    assert begin["task"] == "test-echo"
+    assert begin["total"] == 3
+    assert begin["name"] == "echo-run"
+    assert begin["meta"] == {"seed": 7}
+    assert len(begin["source"]) == 64  # the source-tree fingerprint
+    assert events.count("cell-start") == 3
+    assert events.count("cell-done") == 2
+    assert events.count("cell-failed") == 1
+    failed = next(r for r in records if r["event"] == "cell-failed")
+    assert failed["cell"] == "echo-1"  # the task's describe hook
+    assert failed["error"]["type"] == "RuntimeError"
+    assert "exploded" in failed["error"]["message"]
+    # Every cell record carries the content-address key even without a cache.
+    assert all(len(r["key"]) == 64 for r in records if r["event"] == "cell-start")
+    end = records[-1]
+    assert end["manifest"] == {"done": 2, "failed": 1, "cache_hits": 0}
+    assert end["wall"] >= 0.0
+
+
+def test_ledger_reuse_truncates_the_previous_campaign(tmp_path):
+    path = tmp_path / "echo.jsonl"
+    for _ in range(2):
+        Dispatcher(ledger=CampaignLedger(path)).run("test-echo", [{"i": 0}])
+    records = read_ledger(path)
+    assert [r["event"] for r in records].count("campaign-begin") == 1
+
+
+def test_cache_hits_are_ledgered_and_reduce_correctly(tmp_path):
+    cache_root = tmp_path / "cache"
+    ledger_path = tmp_path / "run.jsonl"
+    payloads = [{"i": 0}, {"i": 1}]
+    Dispatcher(cache=ResultCache(root=cache_root, fingerprint="pin")).run(
+        "test-echo", payloads
+    )
+    dispatcher = Dispatcher(
+        cache=ResultCache(root=cache_root, fingerprint="pin"),
+        ledger=CampaignLedger(ledger_path),
+    )
+    results = dispatcher.run("test-echo", payloads)
+    assert results == [{"i": 0}, {"i": 1}]
+    assert dispatcher.last_stats.cache_hits == 2
+    records = read_ledger(ledger_path)
+    assert [r["event"] for r in records].count("cache-hit") == 2
+    manifest = reduce_ledger(records)
+    assert manifest.cache_hits == 2 and manifest.done == 0
+    assert manifest.accounted()
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+def test_parallel_campaign_results_and_keys_match_serial(tmp_path):
+    # The acceptance bar: with the ledger enabled, results and cache keys
+    # are byte-identical between serial and parallel runs — only the
+    # ledger's own timing/ordering fields differ.
+    serial_ledger = tmp_path / "serial.jsonl"
+    parallel_ledger = tmp_path / "parallel.jsonl"
+    serial = Dispatcher(ledger=CampaignLedger(serial_ledger)).run(
+        "scenario", SMALL_SPECS
+    )
+    parallel = Dispatcher(workers=2, ledger=CampaignLedger(parallel_ledger)).run(
+        "scenario", SMALL_SPECS
+    )
+    assert [r.summary_digest() for r in serial] == [r.summary_digest() for r in parallel]
+    assert [r.row() for r in serial] == [r.row() for r in parallel]
+
+    def keys_by_index(path):
+        return {
+            r["index"]: r["key"]
+            for r in read_ledger(path)
+            if r["event"] in ("cell-start", "cell-done")
+        }
+
+    assert keys_by_index(serial_ledger) == keys_by_index(parallel_ledger)
+    # The pool initializer pulses every worker before its first cell.
+    parallel_records = read_ledger(parallel_ledger)
+    heartbeat_pids = {
+        r["pid"] for r in parallel_records if r["event"] == "heartbeat"
+    }
+    assert heartbeat_pids  # at least the workers' immediate pulses
+    manifest = reduce_ledger(parallel_records)
+    assert manifest.done == len(SMALL_SPECS)
+    assert manifest.accounted() and manifest.finished
+
+
+def test_interrupted_campaign_accounts_for_every_cell(tmp_path):
+    # KeyboardInterrupt is deliberately NOT fault-isolated: it tears the
+    # campaign down, and the ledger left behind must still account for
+    # every cell — done + failed + cache + in-flight + pending == total.
+    path = tmp_path / "interrupted.jsonl"
+    dispatcher = Dispatcher(ledger=CampaignLedger(path))
+    payloads = [{"i": 0}, {"i": 1, "interrupt": True}, {"i": 2}]
+    with pytest.raises(KeyboardInterrupt):
+        dispatcher.run("test-echo", payloads)
+    records = read_ledger(path)
+    assert all(r["event"] != "campaign-end" for r in records)
+    manifest = reduce_ledger(records)
+    assert manifest.total == 3
+    assert manifest.done == 1
+    assert manifest.in_flight == 1  # started, never reported an outcome
+    assert manifest.pending == 1  # never reached
+    assert manifest.accounted()
+    assert not manifest.finished
+    assert manifest.run_state(now=manifest.last_event_at + 3600.0) == "interrupted"
+
+
+# ---------------------------------------------------------------------------
+# manifest reduction
+# ---------------------------------------------------------------------------
+
+
+def _synthetic_ledger():
+    """A hand-built campaign: 4 cells, 2 workers, one failure mode twice."""
+    signature = {
+        "format": 1,
+        "protocol": "pbft",
+        "invariants": ["liveness"],
+        "stragglers": [2],
+    }
+    return [
+        {
+            "event": "campaign-begin", "t": 100.0, "task": "scenario",
+            "name": "fuzz-9", "total": 4, "workers": 2,
+            "heartbeat_interval": 5.0, "source": "f" * 64,
+        },
+        {"event": "cell-start", "t": 100.1, "index": 0, "cell": "c0", "pid": 11},
+        {"event": "cell-start", "t": 100.1, "index": 1, "cell": "c1", "pid": 12},
+        {"event": "heartbeat", "t": 101.0, "pid": 11},
+        {
+            "event": "cell-done", "t": 102.0, "index": 0, "cell": "c0", "pid": 11,
+            "wall": 1.9,
+            "outcome": {
+                "violations": 1, "counters": {"timeouts": 3},
+                "signature": signature,
+            },
+        },
+        {
+            "event": "cell-done", "t": 103.0, "index": 1, "cell": "c1", "pid": 12,
+            "wall": 2.9,
+            "outcome": {
+                "violations": 2, "counters": {"timeouts": 2, "pulls": 1},
+                "signature": signature,
+            },
+        },
+        {"event": "cache-hit", "t": 103.1, "index": 2, "cell": "c2"},
+        {"event": "cell-start", "t": 103.2, "index": 3, "cell": "c3", "pid": 11},
+        {
+            "event": "cell-failed", "t": 104.0, "index": 3, "cell": "c3", "pid": 11,
+            "wall": 0.8, "error": {"type": "RuntimeError", "message": "boom"},
+        },
+        {"event": "campaign-end", "t": 104.5, "wall": 4.5,
+         "manifest": {"done": 2, "failed": 1, "cache_hits": 1}},
+    ]
+
+
+def test_manifest_reduces_counts_rates_and_groups():
+    manifest = reduce_ledger(_synthetic_ledger())
+    assert manifest.task == "scenario" and manifest.name == "fuzz-9"
+    assert manifest.total == 4
+    assert (manifest.done, manifest.failed, manifest.cache_hits) == (2, 1, 1)
+    assert manifest.in_flight == 0 and manifest.pending == 0
+    assert manifest.accounted() and manifest.finished
+    assert manifest.elapsed_seconds() == pytest.approx(4.5)
+    assert manifest.cells_per_second() == pytest.approx(4 / 4.5)
+    assert manifest.eta_seconds() is None  # already finished
+    # Violations group under one FailureSignature key.
+    assert manifest.violating == 2
+    assert len(manifest.signatures) == 1
+    group = next(iter(manifest.signatures.values()))
+    assert group.count == 2 and set(group.cells) == {"c0", "c1"}
+    assert "pbft" in group.label
+    # Digest-excluded counters sum across cells.
+    assert manifest.counters == {"timeouts": 5, "pulls": 1}
+    # Errors group by exception type.
+    assert manifest.errors == {"RuntimeError": [("c3", "boom")]}
+    # Wall-time histogram over the executed cells only.
+    assert manifest.wall.count == 3
+    assert manifest.wall.maximum() == pytest.approx(2.9)
+    assert manifest.slowest[0] == (2.9, "c1")
+    # Worker accounting from cell records and heartbeats.
+    assert set(manifest.worker_stats) == {11, 12}
+    assert manifest.worker_stats[11].cells == 2
+    assert manifest.worker_stats[11].failed == 1
+    assert manifest.worker_stats[11].heartbeats == 1
+    assert manifest.worker_stats[11].busy_seconds == pytest.approx(2.7)
+
+
+def test_manifest_eta_and_dead_worker_detection():
+    records = [r for r in _synthetic_ledger() if r["event"] != "campaign-end"]
+    manifest = reduce_ledger(records)
+    assert not manifest.finished
+    # 3 cells in ~4s elapsed; the 4th in-flight? No: index 3 failed, so
+    # 3 completed + cache-hit = 4... rebuild: drop the failure too.
+    records = [r for r in records if r["event"] != "cell-failed"]
+    manifest = reduce_ledger(records)
+    assert manifest.in_flight == 1 and manifest.pending == 0
+    eta = manifest.eta_seconds(now=104.0)
+    assert eta is not None and eta > 0
+    # Both workers' last pulse is far older than 3 heartbeat intervals.
+    assert manifest.dead_workers(now=104.0 + 120.0) == [11, 12]
+    assert manifest.run_state(now=104.0 + 120.0) == "interrupted"
+    assert manifest.run_state(now=104.1) == "running"
+
+
+def test_reducer_ignores_unknown_events_and_duplicates():
+    records = _synthetic_ledger()
+    records.insert(3, {"event": "from-the-future", "t": 101.0, "shiny": True})
+    # A replayed duplicate outcome must not double-count.
+    records.append(dict(records[4]))
+    manifest = reduce_ledger(records)
+    assert manifest.done == 2 and manifest.accounted()
+
+
+def test_format_status_report_and_event_render(capsys):
+    manifest = reduce_ledger(_synthetic_ledger())
+    status = format_status(manifest, now=105.0)
+    assert "campaign fuzz-9" in status and "finished" in status
+    assert "4 total" in status and "2 done" in status and "1 failed" in status
+    report = format_report(manifest, now=105.0)
+    assert "failure signatures:" in report
+    assert "x2: c0, c1" in report
+    assert "RuntimeError x1" in report
+    assert "cell wall time" in report and "p99" in report
+    assert "slowest cells:" in report
+    assert "timeouts=5" in report
+    assert "worker utilization:" in report
+    lines = [format_event(record) for record in _synthetic_ledger()]
+    assert any("campaign-begin" in line and "fuzz-9" in line for line in lines)
+    assert any("cell-failed" in line and "RuntimeError: boom" in line for line in lines)
+    assert any("violations=1" in line for line in lines)
+    assert any("campaign-end" in line for line in lines)
+
+
+def test_progress_line_writes_to_stderr(tmp_path, capsys):
+    ledger = CampaignLedger(tmp_path / "progress.jsonl")
+    Dispatcher(ledger=ledger, progress=True).run("test-echo", [{"i": 0}, {"i": 1}])
+    err = capsys.readouterr().err
+    assert "2/2" in err and "cells/s" in err
+
+
+# ---------------------------------------------------------------------------
+# `repro campaign` CLI verbs
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def finished_ledger(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    Dispatcher(ledger=CampaignLedger(path, name="cli-run"), on_error="collect").run(
+        "test-echo", [{"i": 0}, {"i": 1, "boom": True}, {"i": 2}]
+    )
+    return path
+
+
+def test_cli_campaign_status(finished_ledger, capsys):
+    assert cli.main(["campaign", "status", str(finished_ledger)]) == 0
+    out = capsys.readouterr().out
+    assert "campaign cli-run" in out and "finished" in out
+    assert "3 total" in out and "2 done" in out and "1 failed" in out
+
+
+def test_cli_campaign_report_and_trace_export(finished_ledger, tmp_path, capsys):
+    trace_path = tmp_path / "campaign-trace.json"
+    exit_code = cli.main(
+        ["campaign", "report", str(finished_ledger), "--trace", str(trace_path)]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "cell errors:" in captured.out
+    assert "RuntimeError" in captured.out
+    assert str(trace_path) in captured.err
+    # The exported timeline is structurally valid Perfetto input.
+    from repro.obs import validate_chrome_trace
+
+    document = json.loads(trace_path.read_text())
+    counts = validate_chrome_trace(document)
+    assert counts.get("X", 0) == 3  # one slice per executed cell
+    names = {event["name"] for event in document["traceEvents"]}
+    assert "echo-1" in names and "campaign-begin" in names
+
+
+def test_cli_campaign_tail(finished_ledger, capsys):
+    assert cli.main(["campaign", "tail", str(finished_ledger), "-n", "2"]) == 0
+    lines = [line for line in capsys.readouterr().out.splitlines() if line]
+    assert len(lines) == 2
+    assert "campaign-end" in lines[-1]
+    assert cli.main(["campaign", "tail", str(finished_ledger), "-n", "0"]) == 0
+    assert "campaign-begin" in capsys.readouterr().out
+
+
+def test_cli_campaign_rejects_missing_or_empty_ledgers(tmp_path, capsys):
+    assert cli.main(["campaign", "status", str(tmp_path / "nope.jsonl")]) == 2
+    assert "cannot read ledger" in capsys.readouterr().err
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert cli.main(["campaign", "report", str(empty)]) == 2
+    assert "no campaign records" in capsys.readouterr().err
+    assert cli.main(["campaign"]) == 2
+    assert "campaign {status,report,tail}" in capsys.readouterr().err
+
+
+def test_cli_scenario_matrix_records_a_ledger(tmp_path, capsys):
+    ledger_path = tmp_path / "matrix.jsonl"
+    exit_code = cli.main(
+        [
+            "scenario", "--matrix", "smoke", "--duration", "0.2",
+            "--ledger", str(ledger_path),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "dispatch:" in captured.err
+    manifest = reduce_ledger(read_ledger(ledger_path))
+    assert manifest.finished and manifest.accounted()
+    assert manifest.done == manifest.total > 0
+    assert cli.main(["campaign", "status", str(ledger_path)]) == 0
+    assert "finished" in capsys.readouterr().out

@@ -183,12 +183,22 @@ def test_figure_all_rejects_the_protocols_flag(capsys):
     assert "--protocols" in capsys.readouterr().err
 
 
-def test_fuzz_command_runs_a_clean_campaign(capsys):
-    exit_code = cli.main(["fuzz", "--count", "2", "--seed", "1", "--duration", "0.2"])
-    output = capsys.readouterr().out
+def test_fuzz_command_runs_a_clean_campaign(tmp_path, capsys):
+    ledger = tmp_path / "fuzz-ledger.jsonl"
+    exit_code = cli.main(
+        [
+            "fuzz", "--count", "2", "--seed", "1", "--duration", "0.2",
+            "--ledger", str(ledger),
+        ]
+    )
+    captured = capsys.readouterr()
     assert exit_code == 0
-    assert "fuzz-1-0" in output and "fuzz-1-1" in output
-    assert "all 2 scenarios clean" in output
+    assert "fuzz-1-0" in captured.out and "fuzz-1-1" in captured.out
+    assert "all 2 scenarios clean" in captured.out
+    # The campaign default-records a ledger; the stderr summary names it.
+    assert "dispatch: 2 cells:" in captured.err
+    assert str(ledger) in captured.err
+    assert ledger.exists()
 
 
 def test_fuzz_archives_failing_specs_for_replay(tmp_path, monkeypatch, capsys):
@@ -199,7 +209,7 @@ def test_fuzz_archives_failing_specs_for_replay(tmp_path, monkeypatch, capsys):
     import repro.scenarios as scenarios
     from repro.scenarios import InvariantViolation, ScenarioResult
 
-    def broken_matrix(specs, workers=None, cache=None, flight=False):
+    def broken_matrix(specs, workers=None, cache=None, flight=False, **kwargs):
         return [
             ScenarioResult(
                 spec=spec,
@@ -269,9 +279,12 @@ def test_negative_count_and_workers_fail_cleanly(capsys):
     assert cli.main(["fuzz", "--count", "-1"]) == 2
     assert "--count must be non-negative" in capsys.readouterr().err
     assert cli.main(["scenario", "--workers", "-1"]) == 2
-    assert "--workers must be non-negative" in capsys.readouterr().err
+    assert "--workers must be a positive integer" in capsys.readouterr().err
     assert cli.main(["figure", "fig7b-batching", "--workers", "-1"]) == 2
-    assert "--workers must be non-negative" in capsys.readouterr().err
+    assert "--workers must be a positive integer" in capsys.readouterr().err
+    # --workers 0 used to be silently coerced to one worker.
+    assert cli.main(["fuzz", "--count", "1", "--workers", "0"]) == 2
+    assert "--workers must be a positive integer" in capsys.readouterr().err
     # A duration below the event-rounding floor would collapse fault
     # windows to zero width deep inside the fuzzer.
     assert cli.main(["fuzz", "--count", "1", "--duration", "1e-6"]) == 2

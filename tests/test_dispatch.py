@@ -13,11 +13,15 @@ import pytest
 
 from repro.bench import ablations, experiments
 from repro.dispatch import (
+    CellFailure,
+    DispatchError,
+    DispatchTask,
     Dispatcher,
     ResultCache,
     fuzz_matrix,
     fuzz_spec,
     get_task,
+    register_task,
     source_fingerprint,
     task_names,
 )
@@ -209,6 +213,93 @@ def test_every_cli_name_has_a_registered_experiment():
         experiments.run_figure("fig99-unknown")
     with pytest.raises(KeyError):
         ablations.run_ablation("no-such-ablation")
+
+
+# ---------------------------------------------------------------------------
+# workers validation and fault isolation
+# ---------------------------------------------------------------------------
+
+
+def test_dispatcher_rejects_zero_and_negative_workers():
+    # workers=0 used to be silently coerced to 1 by `workers if workers
+    # else 1` — an accidental serial run instead of a clear error.
+    with pytest.raises(ValueError):
+        Dispatcher(workers=0)
+    with pytest.raises(ValueError):
+        Dispatcher(workers=-1)
+    with pytest.raises(ValueError):
+        Dispatcher(on_error="ignore")
+    assert Dispatcher().workers == 1
+    assert Dispatcher(workers=None).workers == 1
+    assert Dispatcher(workers=4).workers == 4
+
+
+def _run_exploding_cell(payload):
+    if payload.get("boom"):
+        raise RuntimeError(f"cell {payload['i']} exploded")
+    return {"i": payload["i"]}
+
+
+register_task(
+    DispatchTask(
+        name="test-exploding",
+        run=_run_exploding_cell,
+        payload_json=lambda payload: {"i": payload["i"]},
+        encode=lambda value: value,
+        decode=lambda value: value,
+    )
+)
+
+EXPLODING_PAYLOADS = [{"i": 0}, {"i": 1, "boom": True}, {"i": 2}]
+
+
+def test_raising_cell_no_longer_aborts_the_campaign():
+    # One bad cell used to tear down pool.map and discard every completed
+    # cell's work; now it comes back as a tagged CellFailure record.
+    dispatcher = Dispatcher(on_error="collect")
+    results = dispatcher.run("test-exploding", EXPLODING_PAYLOADS)
+    assert results[0] == {"i": 0} and results[2] == {"i": 2}
+    failure = results[1]
+    assert isinstance(failure, CellFailure)
+    assert failure.index == 1
+    assert failure.error_type == "RuntimeError"
+    assert "cell 1 exploded" in failure.message
+    assert "RuntimeError" in failure.traceback
+    stats = dispatcher.last_stats
+    assert stats.total == 3 and stats.failed == 1 and stats.executed == 3
+    assert stats.wall_seconds >= 0.0
+    assert "1 failed" in stats.summary()
+
+
+def test_on_error_raise_surfaces_failures_after_completion():
+    dispatcher = Dispatcher()  # on_error="raise" is the default
+    with pytest.raises(DispatchError) as excinfo:
+        dispatcher.run("test-exploding", EXPLODING_PAYLOADS)
+    assert len(excinfo.value.failures) == 1
+    assert excinfo.value.failures[0].index == 1
+    # The healthy cells still completed before the aggregate raise.
+    assert dispatcher.last_stats.failed == 1
+    assert dispatcher.last_stats.executed == 3
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs the fork start method")
+def test_raising_cell_is_isolated_on_the_pool_too():
+    dispatcher = Dispatcher(workers=2, on_error="collect")
+    results = dispatcher.run("test-exploding", EXPLODING_PAYLOADS)
+    assert results[0] == {"i": 0} and results[2] == {"i": 2}
+    assert isinstance(results[1], CellFailure)
+    assert dispatcher.last_stats.failed == 1
+
+
+def test_stats_summary_mentions_every_account():
+    from repro.dispatch import DispatchStats
+
+    stats = DispatchStats(
+        total=5, cache_hits=2, executed=3, workers=2, failed=1, wall_seconds=1.25
+    )
+    summary = stats.summary()
+    assert "5 cells: 2 cached, 3 executed" in summary
+    assert "1 failed" in summary and "2 worker(s)" in summary and "1.2s" in summary
 
 
 # ---------------------------------------------------------------------------

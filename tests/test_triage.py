@@ -507,7 +507,7 @@ def test_cli_fuzz_auto_minimize_skips_unreproducible_findings(tmp_path, monkeypa
 
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
 
-    def broken_matrix(specs, workers=None, cache=None, flight=False):
+    def broken_matrix(specs, workers=None, cache=None, flight=False, **kwargs):
         return [
             fake_result(
                 spec,
